@@ -1,0 +1,85 @@
+//! Criterion microbenchmarks of the dense kernels (the §V-B tuning layer):
+//! GEMM (the practical-peak yardstick), blocked vs unblocked QR, and the
+//! structured stacked-triangles combine against its dense equivalent.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tsqr_linalg::prelude::*;
+use tsqr_linalg::qr::Trans;
+use tsqr_linalg::stacked::stack_qr_dense;
+use tsqr_linalg::{blas, Matrix};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(10);
+    for size in [64usize, 128, 256, 512] {
+        let a = Matrix::random_uniform(size, size, 1);
+        let b = Matrix::random_uniform(size, size, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bench, _| {
+            let mut out = Matrix::zeros(size, size);
+            bench.iter(|| {
+                blas::gemm(
+                    Trans::No,
+                    Trans::No,
+                    1.0,
+                    &black_box(&a).view(),
+                    &black_box(&b).view(),
+                    0.0,
+                    &mut out.view_mut(),
+                );
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_qr_tall(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geqrf_tall");
+    group.sample_size(20);
+    for n in [32usize, 64, 128] {
+        let a = Matrix::random_uniform(8192, n, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| QrFactors::compute(black_box(&a), 64));
+        });
+    }
+    group.finish();
+}
+
+fn bench_blocking_benefit(c: &mut Criterion) {
+    // geqr2 (ScaLAPACK panel kernel) vs blocked geqrf on the same block.
+    let a = Matrix::random_uniform(2048, 64, 4);
+    let mut group = c.benchmark_group("blocking");
+    group.sample_size(20);
+    group.bench_function("geqr2_2048x64", |b| {
+        b.iter(|| QrFactors::compute_unblocked(black_box(&a)))
+    });
+    group.bench_function("geqrf_2048x64", |b| {
+        b.iter(|| QrFactors::compute(black_box(&a), 32))
+    });
+    group.finish();
+}
+
+fn bench_combine(c: &mut Criterion) {
+    // The TSQR reduction operator: structured vs dense — the flop trade of
+    // Table I in kernel form.
+    let mut group = c.benchmark_group("combine");
+    group.sample_size(20);
+    for n in [64usize, 128, 256] {
+        let r1 = Matrix::random_uniform(n, n, 5).upper_triangular_padded();
+        let r2 = Matrix::random_uniform(n, n, 6).upper_triangular_padded();
+        group.bench_with_input(BenchmarkId::new("tpqrt", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut a = r1.clone();
+                let mut b = r2.clone();
+                tpqrt(&mut a, &mut b)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("dense_stack", n), &n, |bench, _| {
+            bench.iter(|| stack_qr_dense(black_box(&r1), black_box(&r2)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_qr_tall, bench_blocking_benefit, bench_combine);
+criterion_main!(benches);

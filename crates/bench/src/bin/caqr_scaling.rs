@@ -1,0 +1,92 @@
+//! The experiment the paper's conclusion calls for (§VI): does **CAQR** —
+//! the general-matrix factorization whose panel is TSQR — scale across
+//! geographical sites like TSQR does?
+//!
+//! "From models, there is no doubt that CAQR should scale. However we
+//! will need to perform the experiment to confirm this claim."
+//!
+//! We run distributed CAQR (symbolic engine, real schedules) on 1, 2 and
+//! 4 Grid'5000 sites for general matrices of growing height and report
+//! the multi-site speedups.
+//!
+//! Run: `cargo run --release -p tsqr-bench --bin caqr_scaling`
+
+use tsqr_bench::{calib, grid_runtime, ShapeCheck};
+use tsqr_core::caqr_dist::{caqr_dist_rank_program_symbolic, CaqrDistConfig};
+use tsqr_core::model;
+use tsqr_core::tree::TreeShape;
+
+fn caqr_gflops(sites: usize, m: u64, n: usize, tile: usize) -> f64 {
+    let rt = grid_runtime(sites);
+    let cfg = CaqrDistConfig {
+        tile,
+        shape: TreeShape::GridHierarchical,
+        rate_flops: Some(calib::kernel_rate_flops(tile)),
+        combine_rate_flops: Some(calib::combine_rate_flops()),
+    };
+    let report = rt.run(|p, _| caqr_dist_rank_program_symbolic(p, m, n, &cfg));
+    // Useful flops of a full QR of an m × n matrix.
+    let useful = model::useful_flops(m, n as u64, false);
+    useful / report.makespan.secs() / 1e9
+}
+
+fn main() {
+    let mut checks = ShapeCheck::new();
+    let tile = 64;
+    println!("# CAQR on the grid — general M x N matrices, tile = {tile}");
+    println!("# {:>10} {:>6} {:>12} {:>12} {:>12} {:>10}", "M", "N", "1 site", "2 sites", "4 sites", "speedup4");
+
+    for (m, n) in [
+        (262_144u64, 512usize),
+        (1_048_576, 512),
+        (4_194_304, 512),
+        (1_048_576, 1024),
+        (4_194_304, 1024),
+    ] {
+        let g1 = caqr_gflops(1, m, n, tile);
+        let g2 = caqr_gflops(2, m, n, tile);
+        let g4 = caqr_gflops(4, m, n, tile);
+        let s4 = g4 / g1;
+        println!(
+            "  {:>10} {:>6} {:>12.1} {:>12.1} {:>12.1} {:>9.2}x",
+            m, n, g1, g2, g4, s4
+        );
+        if m >= 4_194_304 {
+            checks.check(
+                &format!("CAQR scales across sites at M={m}, N={n}"),
+                s4 > 2.5 && g2 > g1,
+                format!("4-site speedup {s4:.2}x"),
+            );
+        }
+    }
+
+    // And the WAN bill: per panel the tuned tree crosses sites O(#sites)
+    // times, so total WAN messages grow with N/b, not with M or the
+    // trailing width.
+    let rt = grid_runtime(4);
+    let cfg = CaqrDistConfig {
+        tile,
+        shape: TreeShape::GridHierarchical,
+        rate_flops: Some(calib::kernel_rate_flops(tile)),
+        combine_rate_flops: Some(calib::combine_rate_flops()),
+    };
+    let wan_of = |m: u64, n: usize| {
+        rt.run(|p, _| caqr_dist_rank_program_symbolic(p, m, n, &cfg))
+            .totals
+            .inter_cluster_msgs()
+    };
+    let wan_tall = wan_of(1_048_576, 512);
+    let wan_taller = wan_of(4_194_304, 512);
+    checks.check(
+        "WAN messages independent of M",
+        wan_tall == wan_taller,
+        format!("{wan_tall} vs {wan_taller}"),
+    );
+    let wan_wide = wan_of(1_048_576, 1024);
+    checks.check(
+        "WAN messages scale with the panel count (N/b)",
+        wan_wide > wan_tall && wan_wide <= 2 * wan_tall + 16,
+        format!("N=512: {wan_tall}, N=1024: {wan_wide}"),
+    );
+    checks.finish();
+}

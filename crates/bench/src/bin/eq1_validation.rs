@@ -1,0 +1,92 @@
+//! Validation of the paper's performance model (§IV, Eq. (1)) against the
+//! discrete simulation: `time = β·#msgs + α·vol + γ·#flops` with the
+//! Table I breakdowns, on the homogeneous network the model assumes.
+//!
+//! Run: `cargo run --release -p tsqr-bench --bin eq1_validation`
+
+use tsqr_bench::ShapeCheck;
+use tsqr_core::experiment::{run_experiment, Algorithm, Experiment, Mode};
+use tsqr_core::model;
+use tsqr_core::tree::TreeShape;
+use tsqr_gridmpi::Runtime;
+use tsqr_netsim::{ClusterSpec, CostModel, GridTopology, LinkParams};
+
+const BETA_MS: f64 = 0.5;
+const MBPS: f64 = 200.0;
+const RATE: f64 = 1.0e9;
+
+fn homogeneous(procs: usize) -> Runtime {
+    let topo = GridTopology::block_placement(
+        vec![ClusterSpec {
+            name: "c".into(),
+            nodes: procs,
+            procs_per_node: 1,
+            peak_gflops_per_proc: 8.0,
+        }],
+        procs,
+        1,
+    );
+    Runtime::new(topo, CostModel::homogeneous(LinkParams::from_ms_mbps(BETA_MS, MBPS), RATE, 1))
+}
+
+fn main() {
+    let mut checks = ShapeCheck::new();
+    let (beta, alpha_word, gamma) = (BETA_MS * 1e-3, 64.0 / (MBPS * 1e6), 1.0 / RATE);
+    println!("# Eq. (1) vs simulation — homogeneous network (β = {BETA_MS} ms, {MBPS} Mb/s, 1 Gflop/s)");
+    println!(
+        "# {:>5} {:>10} {:>5} {:>11} {:>12} {:>12} {:>7}",
+        "P", "M", "N", "algorithm", "Eq.(1) [s]", "simulated", "ratio"
+    );
+
+    let mut worst: f64 = 1.0;
+    for procs in [4usize, 16, 64] {
+        let rt = homogeneous(procs);
+        for (m, n) in [(1u64 << 20, 32usize), (1 << 22, 64), (1 << 18, 16)] {
+            for tsqr in [true, false] {
+                let algorithm = if tsqr {
+                    Algorithm::Tsqr { shape: TreeShape::Binary, domains_per_cluster: procs }
+                } else {
+                    Algorithm::ScalapackQr2
+                };
+                let sim = run_experiment(
+                    &rt,
+                    &Experiment {
+                        m,
+                        n,
+                        algorithm,
+                        compute_q: false,
+                        mode: Mode::Symbolic,
+                        rate_flops: Some(RATE),
+                        combine_rate_flops: Some(RATE),
+                    },
+                )
+                .makespan
+                .secs();
+                let predicted = if tsqr {
+                    model::tsqr_r_only(m, n as u64, procs as u64)
+                } else {
+                    model::scalapack_r_only(m, n as u64, procs as u64)
+                }
+                .time(beta, alpha_word, gamma);
+                let ratio = sim / predicted;
+                worst = worst.max(ratio.max(1.0 / ratio));
+                println!(
+                    "  {:>5} {:>10} {:>5} {:>11} {:>12.4} {:>12.4} {:>7.3}",
+                    procs,
+                    m,
+                    n,
+                    if tsqr { "TSQR" } else { "ScaLAPACK" },
+                    predicted,
+                    sim,
+                    ratio
+                );
+            }
+        }
+    }
+    checks.check(
+        "every simulated time within 30% of Eq. (1)",
+        worst < 1.30,
+        format!("worst ratio {worst:.3}"),
+    );
+    checks.finish();
+}

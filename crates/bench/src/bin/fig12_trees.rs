@@ -1,0 +1,160 @@
+//! Figures 1 and 2: inter-cluster message counts of the ScaLAPACK panel
+//! factorization (one reduction tree per column, topology-oblivious)
+//! versus the single topology-tuned TSQR reduction.
+//!
+//! The paper's example: an M × 3 panel over three clusters. ScaLAPACK
+//! performs 5 reductions (2 per column for the first two columns, 1 for
+//! the last) whose binary trees cross clusters repeatedly — 25
+//! inter-cluster messages in the paper's layout; the tuned TSQR tree pays
+//! exactly 2, independent of the column count.
+//!
+//! Run: `cargo run --release -p tsqr-bench --bin fig12_trees`
+
+use tsqr_bench::ShapeCheck;
+use tsqr_core::experiment::{run_experiment, Algorithm, Experiment, Mode};
+use tsqr_core::tree::{ReductionTree, TreeShape};
+use tsqr_gridmpi::Runtime;
+use tsqr_netsim::{ClusterSpec, CostModel, GridTopology, LinkParams};
+
+/// Three clusters of two single-socket nodes — six processes, the shape of
+/// the paper's illustration.
+fn three_clusters() -> GridTopology {
+    let specs = (0..3)
+        .map(|i| ClusterSpec {
+            name: format!("c{i}"),
+            nodes: 2,
+            procs_per_node: 1,
+            peak_gflops_per_proc: 8.0,
+        })
+        .collect();
+    GridTopology::block_placement(specs, 2, 1)
+}
+
+fn model() -> CostModel {
+    let mut m = CostModel::homogeneous(LinkParams::from_ms_mbps(0.07, 890.0), 3.67e9, 3);
+    for a in 0..3 {
+        for b in 0..3 {
+            if a != b {
+                m.inter_cluster[a][b] = LinkParams::from_ms_mbps(8.0, 80.0);
+            }
+        }
+    }
+    m
+}
+
+fn main() {
+    let n = 3;
+    let m = 600u64;
+    let mut checks = ShapeCheck::new();
+    println!("# Figs. 1-2 — inter-cluster messages, M x {n} panel on 3 clusters of 2 procs");
+
+    // Fig. 1: ScaLAPACK panel factorization, ranks block-placed.
+    let rt = Runtime::new(three_clusters(), model());
+    let scal = run_experiment(
+        &rt,
+        &Experiment {
+            m,
+            n,
+            algorithm: Algorithm::ScalapackQr2,
+            compute_q: false,
+            mode: Mode::Symbolic,
+            rate_flops: None,
+            combine_rate_flops: None,
+        },
+    );
+    println!("scalapack block-placed ranks : {} inter-cluster msgs", scal.totals.inter_cluster_msgs());
+
+    // Fig. 1 (caption): with randomly distributed ranks "the figure can be
+    // worse".
+    let rt_shuffled = Runtime::new(three_clusters().shuffled(5), model());
+    let scal_shuffled = run_experiment(
+        &rt_shuffled,
+        &Experiment {
+            m,
+            n,
+            algorithm: Algorithm::ScalapackQr2,
+            compute_q: false,
+            mode: Mode::Symbolic,
+            rate_flops: None,
+            combine_rate_flops: None,
+        },
+    );
+    println!(
+        "scalapack shuffled ranks     : {} inter-cluster msgs",
+        scal_shuffled.totals.inter_cluster_msgs()
+    );
+
+    // Fig. 2: TSQR with the grid-tuned tree.
+    let tsqr = run_experiment(
+        &rt,
+        &Experiment {
+            m,
+            n,
+            algorithm: Algorithm::Tsqr {
+                shape: TreeShape::GridHierarchical,
+                domains_per_cluster: 2,
+            },
+            compute_q: false,
+            mode: Mode::Symbolic,
+            rate_flops: None,
+            combine_rate_flops: None,
+        },
+    );
+    println!(
+        "tsqr grid-tuned tree         : {} inter-cluster msgs",
+        tsqr.totals.inter_cluster_msgs()
+    );
+
+    // And an untuned binary tree over shuffled ranks for contrast.
+    let tree_oblivious = ReductionTree::build(TreeShape::Binary, 6, &[0; 6]);
+    let shuffled_clusters: Vec<usize> =
+        (0..6).map(|r| rt_shuffled.topology().cluster_of(r)).collect();
+    println!(
+        "tsqr untuned binary (shuffled): {} inter-cluster msgs",
+        tree_oblivious.inter_cluster_messages(&shuffled_clusters)
+    );
+
+    checks.check(
+        "tuned tree sends exactly #clusters - 1 = 2 WAN messages (Fig. 2)",
+        tsqr.totals.inter_cluster_msgs() == 2,
+        format!("{}", tsqr.totals.inter_cluster_msgs()),
+    );
+    checks.check(
+        "ScaLAPACK sends an order of magnitude more WAN messages (Fig. 1)",
+        scal.totals.inter_cluster_msgs() >= 10,
+        format!("{} (paper illustration: 25)", scal.totals.inter_cluster_msgs()),
+    );
+    checks.check(
+        "random rank placement makes ScaLAPACK worse (Fig. 1 caption)",
+        scal_shuffled.totals.inter_cluster_msgs() >= scal.totals.inter_cluster_msgs(),
+        format!(
+            "{} vs {}",
+            scal_shuffled.totals.inter_cluster_msgs(),
+            scal.totals.inter_cluster_msgs()
+        ),
+    );
+    checks.check(
+        "WAN messages of the tuned tree are independent of N",
+        {
+            // Repeat with N = 12: still 2.
+            let wide = run_experiment(
+                &rt,
+                &Experiment {
+                    m,
+                    n: 12,
+                    algorithm: Algorithm::Tsqr {
+                        shape: TreeShape::GridHierarchical,
+                        domains_per_cluster: 2,
+                    },
+                    compute_q: false,
+                    mode: Mode::Symbolic,
+                    rate_flops: None,
+                    combine_rate_flops: None,
+                },
+            );
+            wide.totals.inter_cluster_msgs() == 2
+        },
+        "N = 3 and N = 12 both cost 2".to_string(),
+    );
+    checks.finish();
+}

@@ -1,0 +1,71 @@
+//! Figure 7: effect of the number of domains on TSQR performance on a
+//! *single* site, for N = 64 and N = 512.
+//!
+//! Paper shapes: at N = 64 the optimum is 64 domains (one per process);
+//! at N = 512 it is 32 (one per node). These single-site optima are the
+//! ones that transpose to the grid runs of Fig. 6.
+//!
+//! Run: `cargo run --release -p tsqr-bench --bin fig7_domains_site`
+
+use tsqr_bench::{domain_options, grid_runtime, print_series_table, tsqr_gflops, Series, ShapeCheck};
+
+fn main() {
+    let rt = grid_runtime(1);
+    let mut checks = ShapeCheck::new();
+
+    let panels: [(usize, [u64; 4]); 2] = [
+        (64, [8_388_608, 1_048_576, 131_072, 65_536]),
+        (512, [2_097_152, 1_048_576, 131_072, 65_536]),
+    ];
+
+    for (panel, (n, ms)) in panels.iter().enumerate() {
+        let series: Vec<Series> = ms
+            .iter()
+            .map(|&m| Series {
+                label: format!("M={m}"),
+                points: domain_options()
+                    .iter()
+                    .map(|&dpc| (dpc as u64, tsqr_gflops(&rt, m, *n, dpc)))
+                    .collect(),
+            })
+            .collect();
+        print_series_table(
+            &format!("Fig. 7 ({}) — N = {n}, 1 site, x = domains", ['a', 'b'][panel]),
+            "domains",
+            &series,
+        );
+
+        let best = |m: u64| {
+            domain_options()
+                .iter()
+                .copied()
+                .max_by(|&a, &b| tsqr_gflops(&rt, m, *n, a).total_cmp(&tsqr_gflops(&rt, m, *n, b)))
+                .unwrap()
+        };
+        let opt = best(ms[1]);
+        let want = if *n == 64 { 64 } else { 32 };
+        checks.check(
+            &format!("N={n}: optimum domain count is {want}"),
+            opt == want,
+            format!("optimum {opt} at M={}", ms[1]),
+        );
+        // Performance increases from 1 domain to the optimum.
+        let worst = tsqr_gflops(&rt, ms[1], *n, 1);
+        let best_g = tsqr_gflops(&rt, ms[1], *n, opt);
+        checks.check(
+            &format!("N={n}: splitting into domains helps (vs 1 domain)"),
+            best_g > worst,
+            format!("{best_g:.1} vs {worst:.1} Gflop/s"),
+        );
+    }
+
+    // Paper single-site plateaus used for the calibration — report them.
+    let g64 = tsqr_gflops(&rt, 8_388_608, 64, 64);
+    let g512 = tsqr_gflops(&rt, 2_097_152, 512, 32);
+    checks.check(
+        "single-site plateaus near the paper's (35 / 90 Gflop/s)",
+        (28.0..45.0).contains(&g64) && (70.0..110.0).contains(&g512),
+        format!("N=64: {g64:.1}, N=512: {g512:.1}"),
+    );
+    checks.finish();
+}

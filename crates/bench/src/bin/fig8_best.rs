@@ -1,0 +1,78 @@
+//! Figure 8: best TSQR vs best ScaLAPACK — for each algorithm the optimum
+//! configuration over one, two or four sites (the convex hull of the
+//! Fig. 4 / Fig. 5 site series).
+//!
+//! Paper shapes: TSQR consistently beats ScaLAPACK across the whole range
+//! of matrix shapes; the gap narrows for "not so tall and not so skinny"
+//! matrices (small M, N = 512 — Property 5).
+//!
+//! Run: `cargo run --release -p tsqr-bench --bin fig8_best`
+
+use tsqr_bench::{grid_runtime, paper_m_values, print_series_table, scalapack_gflops, tsqr_best_gflops, Series, ShapeCheck};
+
+fn main() {
+    let runtimes: Vec<_> = [1usize, 2, 4].iter().map(|&s| grid_runtime(s)).collect();
+    let mut checks = ShapeCheck::new();
+
+    for n in [64usize, 128, 256, 512] {
+        let ms = paper_m_values(n);
+        let tsqr_best: Vec<(u64, f64)> = ms
+            .iter()
+            .map(|&m| {
+                let g = runtimes
+                    .iter()
+                    .map(|rt| tsqr_best_gflops(rt, m, n).0)
+                    .fold(0.0, f64::max);
+                (m, g)
+            })
+            .collect();
+        let scal_best: Vec<(u64, f64)> = ms
+            .iter()
+            .map(|&m| {
+                let g = runtimes
+                    .iter()
+                    .map(|rt| scalapack_gflops(rt, m, n))
+                    .fold(0.0, f64::max);
+                (m, g)
+            })
+            .collect();
+        let panel = ['a', 'b', 'c', 'd'][[64, 128, 256, 512].iter().position(|&x| x == n).unwrap()];
+        print_series_table(
+            &format!("Fig. 8 ({panel}) — best-configuration comparison, N = {n}"),
+            "M",
+            &[
+                Series { label: "TSQR(best)".into(), points: tsqr_best.clone() },
+                Series { label: "ScaLAPACK(best)".into(), points: scal_best.clone() },
+            ],
+        );
+
+        // TSQR consistently at least as fast.
+        let always_wins = tsqr_best
+            .iter()
+            .zip(&scal_best)
+            .all(|(t, s)| t.1 >= s.1 * 0.999);
+        checks.check(
+            &format!("N={n}: TSQR consistently >= ScaLAPACK"),
+            always_wins,
+            String::new(),
+        );
+        // Gap ratio at the smallest M.
+        let gap_small = tsqr_best[0].1 / scal_best[0].1;
+        let gap_mid = tsqr_best[ms.len() / 2].1 / scal_best[ms.len() / 2].1;
+        if n == 512 {
+            checks.check(
+                "N=512: gap narrows for not-so-tall matrices (Property 5)",
+                gap_small < gap_mid && gap_small < 1.6,
+                format!("gap {gap_small:.2}x at M={}, {gap_mid:.2}x mid-range", ms[0]),
+            );
+        }
+        if n == 64 {
+            checks.check(
+                "N=64: TSQR wins big on skinny matrices",
+                gap_small > 1.5 || gap_mid > 1.5,
+                format!("gap {gap_small:.2}x small-M, {gap_mid:.2}x mid-range"),
+            );
+        }
+    }
+    checks.finish();
+}

@@ -1,0 +1,49 @@
+//! Property 1: the time to compute both Q and R is about twice the time
+//! to compute R only — checked over the Fig. 5 sweep points.
+//!
+//! Run: `cargo run --release -p tsqr-bench --bin prop1_qr_vs_r`
+
+use tsqr_bench::{calib, grid_runtime, ShapeCheck};
+use tsqr_core::experiment::{run_experiment, Algorithm, Experiment, Mode};
+use tsqr_core::tree::TreeShape;
+
+fn main() {
+    let rt = grid_runtime(4);
+    let mut checks = ShapeCheck::new();
+    println!("# Property 1 — time(Q+R) / time(R), TSQR on 4 sites, 64 domains/cluster");
+    println!("# {:>10} {:>5} {:>10} {:>10} {:>7}", "M", "N", "t_R (s)", "t_QR (s)", "ratio");
+
+    for n in [64usize, 128, 256, 512] {
+        for m in [524_288u64, 4_194_304] {
+            let mk = |compute_q| Experiment {
+                m,
+                n,
+                algorithm: Algorithm::Tsqr {
+                    shape: TreeShape::GridHierarchical,
+                    domains_per_cluster: 64,
+                },
+                compute_q,
+                mode: Mode::Symbolic,
+                rate_flops: Some(calib::kernel_rate_flops(n)),
+                combine_rate_flops: Some(calib::combine_rate_flops()),
+            };
+            let r_only = run_experiment(&rt, &mk(false));
+            let with_q = run_experiment(&rt, &mk(true));
+            let ratio = with_q.makespan.secs() / r_only.makespan.secs();
+            println!(
+                "  {:>10} {:>5} {:>10.4} {:>10.4} {:>7.2}",
+                m,
+                n,
+                r_only.makespan.secs(),
+                with_q.makespan.secs(),
+                ratio
+            );
+            checks.check(
+                &format!("M={m}, N={n}: ratio within [1.6, 2.4]"),
+                (1.6..=2.4).contains(&ratio),
+                format!("{ratio:.2}"),
+            );
+        }
+    }
+    checks.finish();
+}

@@ -1,0 +1,97 @@
+//! Calibration of the simulated platform against the paper's measurements.
+//!
+//! Everything about the *network* comes straight from Fig. 3(a) (see
+//! `tsqr_netsim::grid5000`). The single fitted quantity is the **domanial
+//! kernel rate**: the paper observes (Property 2) that the QR of a TS
+//! matrix reaches only a small fraction of the DGEMM practical peak
+//! (3.67 Gflop/s per process) and that the fraction grows with the column
+//! count N (Property 4, Level-3 BLAS kicks in around 100 columns).
+//!
+//! We fit a power law `rate(N) = A·N^B` Gflop/s to the paper's single-site
+//! plateaus, where communication is negligible and measured Gflop/s ≈
+//! kernel rate:
+//!
+//! * Fig. 7(a): N = 64, 64 processes peak ≈ 35 Gflop/s → 0.55 Gflop/s/proc;
+//! * Fig. 7(b): N = 512, 64 processes peak ≈ 90 Gflop/s → 1.41 Gflop/s/proc.
+//!
+//! Solving gives `B = ln(1.41/0.55)/ln(512/64) ≈ 0.45` and `A ≈ 0.084`;
+//! the curve is capped at the DGEMM rate. This is a calibration of the
+//! substitute platform, not a prediction — EXPERIMENTS.md reports
+//! paper-vs-measured for every series produced with it.
+
+use tsqr_netsim::grid5000::DGEMM_GFLOPS;
+
+/// Power-law prefactor (Gflop/s at N = 1).
+pub const RATE_A: f64 = 0.084;
+/// Power-law exponent.
+pub const RATE_B: f64 = 0.45;
+
+/// Calibrated per-process domain-kernel rate for column count `n`,
+/// in Gflop/s.
+pub fn kernel_gflops(n: usize) -> f64 {
+    (RATE_A * (n as f64).powf(RATE_B)).min(DGEMM_GFLOPS)
+}
+
+/// The same rate in flop/s — the `rate_flops` argument of the experiment
+/// driver.
+pub fn kernel_rate_flops(n: usize) -> f64 {
+    kernel_gflops(n) * 1e9
+}
+
+/// Sustained rate of the stacked-triangles combine kernels, flop/s.
+///
+/// Unlike the streaming leaf factorization (millions of rows, memory
+/// bound), the combine works on a cache-resident N × N triangle pair, so
+/// its rate is roughly independent of N; we charge a flat 1.5 Gflop/s.
+/// The value is pinned by the paper's domain-count crossover (§V-D): one
+/// combine level at N = 512 costs `2/3·N³ / 1.5 Gflop/s ≈ 60 ms`, which
+/// sits between what the last domain split saves (one intra-node
+/// all-reduce round, `2N·17 µs ≈ 17 ms`, plus the leaf's remaining
+/// triangle discount, ≈ 32 ms) and what the earlier splits save (one
+/// intra-cluster round, `2N·70 µs ≈ 72 ms`) — so splitting pays off down
+/// to one domain per node (32/cluster) and not further (Fig. 7(b)), while
+/// at N = 64 a level costs only ~0.1 ms and one domain per process
+/// (64/cluster) wins (Fig. 7(a)).
+pub const COMBINE_GFLOPS: f64 = 1.5;
+
+/// [`COMBINE_GFLOPS`] in flop/s.
+pub fn combine_rate_flops() -> f64 {
+    COMBINE_GFLOPS * 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_fitted_anchors() {
+        // N = 64 → ≈ 0.55 Gflop/s; N = 512 → ≈ 1.4 Gflop/s.
+        let r64 = kernel_gflops(64);
+        let r512 = kernel_gflops(512);
+        assert!((0.45..0.65).contains(&r64), "rate(64) = {r64}");
+        assert!((1.2..1.6).contains(&r512), "rate(512) = {r512}");
+    }
+
+    #[test]
+    fn monotone_in_n_and_capped() {
+        let mut last = 0.0;
+        for n in [16, 32, 64, 128, 256, 512, 1024] {
+            let r = kernel_gflops(n);
+            assert!(r > last, "rate must grow with N");
+            assert!(r <= DGEMM_GFLOPS);
+            last = r;
+        }
+        // Far past the cap.
+        assert_eq!(kernel_gflops(1 << 30), DGEMM_GFLOPS);
+    }
+
+    #[test]
+    fn kernel_rate_is_a_small_fraction_of_peak_property_2() {
+        // Property 2: TS-matrix QR performance is a small fraction of the
+        // practical peak.
+        for n in [64, 128, 256, 512] {
+            let frac = kernel_gflops(n) / DGEMM_GFLOPS;
+            assert!(frac < 0.45, "N={n}: fraction {frac} should be well below peak");
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! CALU: Communication-Avoiding LU for general matrices — the second half
+//! of the paper's §VI remark that the TSQR/CAQR results "can be (trivially)
+//! extended to TSLU/CALU \[25\]" (Grigori, Demmel, Xiang).
+//!
+//! CALU is the (factor panel)/(update trailing) algorithm whose panel step
+//! is [`crate::tslu`]'s tournament pivoting: each panel's pivot rows are
+//! chosen by a reduction over row blocks (one message per tree edge instead
+//! of one reduction per column), the winners are swapped to the top, and a
+//! standard blocked update follows. This module provides the single-process
+//! blocked variant — the same role `caqr` plays next to `caqr_dist` — with
+//! every transformation retained so the factorization can be verified as a
+//! genuine `P·A = L·U`.
+//!
+//! Stability: tournament pivoting does not reproduce partial pivoting's
+//! permutation, but it bounds element growth in the same spirit (the bound
+//! degrades with the tree depth; in practice the growth is comparable).
+//! The tests pit it against unpivoted LU on adversarial panels.
+
+use tsqr_linalg::lu::getrf;
+use tsqr_linalg::tri::{trsm_left, Triangle};
+use tsqr_linalg::Matrix;
+
+/// A CALU factorization: `P·A = L·U` with `P` from per-panel tournaments.
+#[derive(Debug, Clone)]
+pub struct CaluFactors {
+    /// Row permutation: `perm[i]` is the original row index now at
+    /// position `i` (apply with [`CaluFactors::permute_rows`]).
+    pub perm: Vec<usize>,
+    /// Unit-lower-triangular factor (`m × k`, `k = min(m, n)`).
+    pub l: Matrix,
+    /// Upper-trapezoidal factor (`k × n`).
+    pub u: Matrix,
+}
+
+impl CaluFactors {
+    /// `P·B`: reorders the rows of `b` by the recorded permutation.
+    pub fn permute_rows(&self, b: &Matrix) -> Matrix {
+        assert_eq!(b.rows(), self.perm.len(), "permute_rows: row mismatch");
+        Matrix::from_fn(b.rows(), b.cols(), |i, j| b[(self.perm[i], j)])
+    }
+
+    /// The largest |entry| of `L` — the growth the tournament is supposed
+    /// to keep modest.
+    pub fn max_multiplier(&self) -> f64 {
+        self.l.norm_max()
+    }
+
+    /// Solves `A·x = b` for square `A` via the factorization.
+    pub fn solve(&self, b: &Matrix) -> Matrix {
+        let n = self.u.rows();
+        assert_eq!(self.u.cols(), n, "solve: square systems only");
+        let mut x = self.permute_rows(b);
+        // Forward substitution with unit-lower L.
+        for col in 0..x.cols() {
+            for i in 0..n {
+                let mut s = x[(i, col)];
+                for j in 0..i {
+                    s -= self.l[(i, j)] * x[(j, col)];
+                }
+                x[(i, col)] = s;
+            }
+        }
+        trsm_left(Triangle::Upper, &self.u.view(), &mut x.view_mut());
+        x
+    }
+}
+
+/// Tournament pivot selection for one panel: row blocks of height `rb`
+/// play off pairwise (binary tree) until `w` winner rows remain.
+/// Returns the winners' row indices *within the panel*, in pivot order.
+fn tournament(panel: &Matrix, rb: usize) -> Vec<usize> {
+    let (m, w) = (panel.rows(), panel.cols());
+    debug_assert!(m >= w);
+    // Leaves: each block nominates its local partial pivots.
+    let mut contenders: Vec<(Matrix, Vec<usize>)> = Vec::new();
+    let mut r0 = 0;
+    while r0 < m {
+        let rows = rb.max(w).min(m - r0);
+        // A short remainder block merges into the previous contender.
+        if rows < w {
+            let (prev_m, mut prev_idx) = contenders.pop().expect("first block is >= w rows");
+            let merged = prev_m.vstack(&panel.sub_matrix(r0, 0, rows, w));
+            prev_idx.extend(r0..r0 + rows);
+            contenders.push((merged, prev_idx));
+            break;
+        }
+        contenders.push((panel.sub_matrix(r0, 0, rows, w), (r0..r0 + rows).collect()));
+        r0 += rows;
+    }
+    let mut round: Vec<(Matrix, Vec<usize>)> = contenders
+        .into_iter()
+        .map(|(block, idx)| select(&block, &idx))
+        .collect();
+    // Binary tree of playoffs.
+    while round.len() > 1 {
+        let mut next = Vec::with_capacity(round.len().div_ceil(2));
+        let mut it = round.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => {
+                    let stacked = a.0.vstack(&b.0);
+                    let idx: Vec<usize> =
+                        a.1.iter().chain(b.1.iter()).copied().collect();
+                    next.push(select(&stacked, &idx));
+                }
+                None => next.push(a),
+            }
+        }
+        round = next;
+    }
+    round.pop().expect("at least one contender").1
+}
+
+/// Partial-pivoting selection of `cols` rows from a block, with index
+/// tracking.
+fn select(block: &Matrix, idx: &[usize]) -> (Matrix, Vec<usize>) {
+    let w = block.cols();
+    let f = getrf(block);
+    let mut perm: Vec<usize> = (0..block.rows()).collect();
+    for (j, &p) in f.ipiv.iter().enumerate() {
+        perm.swap(j, p);
+    }
+    let rows = Matrix::from_fn(w, w, |i, j| block[(perm[i], j)]);
+    let winners: Vec<usize> = perm[..w].iter().map(|&i| idx[i]).collect();
+    (rows, winners)
+}
+
+/// Blocked CALU of `a` with panel width `nb` and tournament block height
+/// `rb` (`rb ≥ nb`).
+pub fn calu(a: &Matrix, nb: usize, rb: usize) -> CaluFactors {
+    let (m, n) = a.shape();
+    assert!(nb >= 1 && rb >= nb, "need rb >= nb >= 1");
+    let kmax = m.min(n);
+    let mut work = a.clone();
+    let mut perm: Vec<usize> = (0..m).collect();
+    let mut col0 = 0;
+    while col0 < kmax {
+        let w = nb.min(kmax - col0);
+        let rows_below = m - col0;
+        // --- Tournament on the panel (rows col0.., columns col0..col0+w). ---
+        let panel = work.sub_matrix(col0, col0, rows_below, w);
+        let winners = tournament(&panel, rb);
+        // Swap the winners (in pivot order) to the top of the active
+        // region. `winners` indexes the panel rows as they were *before*
+        // any of this panel's swaps, so track where each original row
+        // currently lives.
+        let mut cur_of_orig: Vec<usize> = (0..rows_below).collect();
+        let mut orig_of_cur: Vec<usize> = (0..rows_below).collect();
+        for (t, &win) in winners.iter().enumerate() {
+            let src_rel = cur_of_orig[win];
+            let dst_rel = t;
+            if src_rel != dst_rel {
+                let (src, dst) = (col0 + src_rel, col0 + dst_rel);
+                for c in 0..n {
+                    let tmp = work[(dst, c)];
+                    work[(dst, c)] = work[(src, c)];
+                    work[(src, c)] = tmp;
+                }
+                perm.swap(dst, src);
+                let a = orig_of_cur[src_rel];
+                let b = orig_of_cur[dst_rel];
+                orig_of_cur.swap(src_rel, dst_rel);
+                cur_of_orig[a] = dst_rel;
+                cur_of_orig[b] = src_rel;
+            }
+        }
+        // --- Panel factorization without further pivoting (the winners
+        //     are already on top in pivot order). ---
+        for j in col0..col0 + w {
+            let pivot = work[(j, j)];
+            if pivot == 0.0 {
+                continue;
+            }
+            for i in j + 1..m {
+                let l = work[(i, j)] / pivot;
+                work[(i, j)] = l;
+                for c in j + 1..col0 + w {
+                    let wjc = work[(j, c)];
+                    work[(i, c)] -= l * wjc;
+                }
+            }
+        }
+        // --- Blocked trailing update: U rows then Schur complement. ---
+        let trail = n - col0 - w;
+        if trail > 0 {
+            // U_top := L11⁻¹ · A_top  (unit lower triangular forward solve).
+            for c in col0 + w..n {
+                for i in col0..col0 + w {
+                    let mut s = work[(i, c)];
+                    for j in col0..i {
+                        s -= work[(i, j)] * work[(j, c)];
+                    }
+                    work[(i, c)] = s;
+                }
+            }
+            // A_rest -= L21 · U_top.
+            for i in col0 + w..m {
+                for c in col0 + w..n {
+                    let mut s = work[(i, c)];
+                    for j in col0..col0 + w {
+                        s -= work[(i, j)] * work[(j, c)];
+                    }
+                    work[(i, c)] = s;
+                }
+            }
+        }
+        col0 += w;
+    }
+    let l = Matrix::from_fn(m, kmax, |i, j| {
+        if i == j {
+            1.0
+        } else if i > j {
+            work[(i, j)]
+        } else {
+            0.0
+        }
+    });
+    let u = Matrix::from_fn(kmax, n, |i, j| if i <= j { work[(i, j)] } else { 0.0 });
+    CaluFactors { perm, l, u }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload;
+
+    fn check(a: &Matrix, nb: usize, rb: usize, growth_bound: f64) {
+        let f = calu(a, nb, rb);
+        let pa = f.permute_rows(a);
+        let rec = f.l.matmul(&f.u);
+        assert!(
+            rec.sub_elem(&pa).norm_max() < 1e-10 * a.norm_max().max(1.0),
+            "P·A != L·U for {}x{} nb={nb} rb={rb}",
+            a.rows(),
+            a.cols()
+        );
+        assert!(f.max_multiplier() <= growth_bound, "growth {}", f.max_multiplier());
+        // perm is a permutation.
+        let mut sorted = f.perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..a.rows()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn square_matrices_various_tilings() {
+        let a = workload::full_matrix(101, 24, 24);
+        for (nb, rb) in [(4, 4), (4, 8), (6, 12), (8, 8), (24, 24), (3, 7)] {
+            check(&a, nb, rb, 60.0);
+        }
+    }
+
+    #[test]
+    fn tall_and_wide_matrices() {
+        check(&workload::full_matrix(103, 48, 12), 4, 8, 60.0);
+        check(&workload::full_matrix(105, 12, 30), 4, 6, 60.0);
+    }
+
+    #[test]
+    fn solve_round_trip() {
+        let a = workload::full_matrix(107, 16, 16);
+        let x = workload::full_matrix(108, 16, 2);
+        let b = a.matmul(&x);
+        let got = calu(&a, 4, 8).solve(&b);
+        assert!(got.approx_eq(&x, 1e-8), "max err {}", got.sub_elem(&x).norm_max());
+    }
+
+    #[test]
+    fn tournament_avoids_poisonous_rows() {
+        // Tiny leading rows would give unpivoted LU multipliers ~1e8; the
+        // tournament keeps growth modest.
+        let n = 16;
+        let a = Matrix::from_fn(32, n, |i, j| {
+            let v = workload::entry(109, i as u64, j as u64);
+            if i < 4 {
+                v * 1e-8
+            } else {
+                v
+            }
+        });
+        check(&a, 4, 8, 60.0);
+    }
+
+    #[test]
+    fn single_block_equals_partial_pivoting() {
+        // rb >= m: the tournament is one getrf — CALU must reproduce
+        // partial-pivoting LU exactly.
+        let a = workload::full_matrix(111, 20, 8);
+        let f = calu(&a, 8, 32);
+        let reference = getrf(&a);
+        let mut ref_perm: Vec<usize> = (0..20).collect();
+        for (j, &p) in reference.ipiv.iter().enumerate() {
+            ref_perm.swap(j, p);
+        }
+        assert_eq!(&f.perm[..8], &ref_perm[..8], "pivot rows must match");
+        let pa = f.permute_rows(&a);
+        assert!(f.l.matmul(&f.u).approx_eq(&pa, 1e-11));
+    }
+
+    #[test]
+    fn matches_reference_solution_quality() {
+        // Both CALU and partial-pivoting LU should solve to similar
+        // accuracy on a well-conditioned system.
+        let a = workload::full_matrix(113, 24, 24);
+        let x = workload::full_matrix(114, 24, 1);
+        let b = a.matmul(&x);
+        let e_calu = calu(&a, 6, 12).solve(&b).sub_elem(&x).norm_max();
+        let e_ref = getrf(&a).solve(&b).sub_elem(&x).norm_max();
+        assert!(e_calu < 100.0 * e_ref.max(1e-14), "calu {e_calu} vs ref {e_ref}");
+    }
+}

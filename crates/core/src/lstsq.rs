@@ -1,0 +1,272 @@
+//! Distributed least squares via TSQR — the canonical consumer of a TS
+//! factorization: `min ‖A·x − b‖₂` for a tall-and-skinny `A`.
+//!
+//! The solver never forms Q. Each leaf factors its block and immediately
+//! reduces its right-hand side (`c = (Qᵀb)[..n]`); every tree combine
+//! applies its small implicit Qᵀ to the stacked coupling vectors, so the
+//! `(R, c)` pair travels up the same tuned tree as TSQR's R — adding just
+//! `n` words per message and zero extra messages. The root back-solves
+//! `R·x = c` and broadcasts `x`.
+
+use tsqr_gridmpi::{CommError, Communicator, Process};
+use tsqr_linalg::flops;
+use tsqr_linalg::prelude::*;
+use tsqr_linalg::qr::{orm2r, Side, Trans};
+use tsqr_linalg::tri::{trsv, Triangle};
+use tsqr_linalg::Matrix;
+
+use crate::domains::DomainLayout;
+use crate::tree::{ReductionTree, Step};
+use crate::tsqr::{pack_upper, unpack_upper};
+
+/// Tag for `(R, c)` pairs travelling up the tree.
+const TAG_RC: u32 = 1201;
+
+/// Result of a distributed least-squares solve.
+#[derive(Debug, Clone)]
+pub struct LstsqOutput {
+    /// The minimizer `x` (identical on every rank after the broadcast).
+    pub x: Vec<f64>,
+    /// The triangular factor's smallest |diagonal| — a rank/conditioning
+    /// probe (0 means the system was singular).
+    pub r_min_diag: f64,
+}
+
+/// The rank program: solves `min ‖A·x − b‖` where this rank supplies its
+/// row slice of `A` and `b` through the two closures. Requires
+/// single-process domains.
+pub fn lstsq_rank_program_with(
+    p: &mut Process,
+    world: &Communicator,
+    layout: &DomainLayout,
+    tree: &ReductionTree,
+    rate_flops: Option<f64>,
+    local_block: impl FnOnce(u64, usize) -> Matrix,
+    local_rhs: impl FnOnce(u64, usize) -> Vec<f64>,
+) -> Result<LstsqOutput, CommError> {
+    let n = layout.n;
+    let d = layout
+        .domain_of_rank(p.rank())
+        .unwrap_or_else(|| panic!("rank {} is in no domain", p.rank()));
+    let dom = &layout.domains[d];
+    assert_eq!(dom.ranks.len(), 1, "lstsq requires single-process domains");
+    let (row0, rows) = (dom.row0, dom.rows);
+    let a_loc = local_block(row0, rows as usize);
+    let b_loc = local_rhs(row0, rows as usize);
+    assert_eq!(a_loc.shape(), (rows as usize, n), "local_block shape mismatch");
+    assert_eq!(b_loc.len(), rows as usize, "local_rhs length mismatch");
+    let roots = layout.roots();
+
+    // --- Leaf: factor the block, reduce the rhs. ---
+    let f = QrFactors::compute(&a_loc, tsqr_linalg::qr::DEFAULT_NB);
+    p.compute(flops::geqrf(rows, n as u64), rate_flops);
+    let mut c_full = Matrix::from_col_major(rows as usize, 1, b_loc).expect("rhs column");
+    orm2r(Side::Left, Trans::Yes, &f.factors.view(), &f.tau, &mut c_full.view_mut());
+    p.compute(4 * rows * n as u64, rate_flops);
+    let mut r1 = f.r().upper_triangular_padded();
+    let mut c1 = Matrix::from_fn(n, 1, |i, _| c_full[(i, 0)]);
+
+    // --- Reduce (R, c) pairs up the tree. ---
+    for step in &tree.steps[d] {
+        match *step {
+            Step::Recv(from_d) => {
+                let (packed, cvec): (Vec<f64>, Vec<f64>) = p.recv(roots[from_d], TAG_RC)?;
+                let mut r2 = unpack_upper(n, &packed);
+                let mut c2 = Matrix::from_col_major(n, 1, cvec).expect("c column");
+                let fc = tpqrt(&mut r1, &mut r2);
+                tpmqrt(Trans::Yes, &fc, &mut c1, &mut c2);
+                p.compute(flops::tpqrt(n as u64), rate_flops);
+            }
+            Step::Send(to_d) => {
+                p.send(roots[to_d], TAG_RC, (pack_upper(&r1), c1.col(0).to_vec()))?;
+            }
+        }
+    }
+
+    // --- Root solves R·x = c and broadcasts. ---
+    let payload: Option<(Vec<f64>, f64)> = (p.rank() == 0).then(|| {
+        let r = r1.upper_triangular_padded();
+        let min_diag = tsqr_linalg::tri::smallest_diag(&r);
+        let mut x = c1.col(0).to_vec();
+        trsv(Triangle::Upper, &r.view(), &mut x);
+        (x, min_diag)
+    });
+    let (x, r_min_diag) = world.bcast(p, 0, payload)?;
+    Ok(LstsqOutput { x, r_min_diag })
+}
+
+/// Convenience wrapper over a centrally-held `(A, b)` (test/example scale).
+pub fn lstsq_distributed(
+    rt: &tsqr_gridmpi::Runtime,
+    a: &Matrix,
+    b: &[f64],
+    domains_per_cluster: usize,
+    shape: crate::tree::TreeShape,
+) -> LstsqOutput {
+    let (m, n) = a.shape();
+    assert_eq!(b.len(), m, "rhs length mismatch");
+    let layout = DomainLayout::build(rt.topology(), m as u64, n, domains_per_cluster);
+    let tree = ReductionTree::build(shape, layout.num_domains(), &layout.clusters());
+    let report = rt.run(|p, world| {
+        lstsq_rank_program_with(
+            p,
+            world,
+            &layout,
+            &tree,
+            None,
+            |row0, rows| a.sub_matrix(row0 as usize, 0, rows, n),
+            |row0, rows| (0..rows).map(|i| b[row0 as usize + i]).collect(),
+        )
+    });
+    report.ranks.into_iter().next().expect("rank 0").result.expect("solve succeeded")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeShape;
+    use crate::workload;
+    use tsqr_netsim::{ClusterSpec, CostModel, GridTopology, LinkParams};
+    use tsqr_gridmpi::Runtime;
+
+    fn mini_grid(clusters: usize, procs: usize) -> Runtime {
+        let specs = (0..clusters)
+            .map(|i| ClusterSpec {
+                name: format!("c{i}"),
+                nodes: procs,
+                procs_per_node: 1,
+                peak_gflops_per_proc: 8.0,
+            })
+            .collect();
+        let topo = GridTopology::block_placement(specs, procs, 1);
+        let mut model =
+            CostModel::homogeneous(LinkParams::from_ms_mbps(0.07, 890.0), 1e9, clusters);
+        for a in 0..clusters {
+            for b in 0..clusters {
+                if a != b {
+                    model.inter_cluster[a][b] = LinkParams::from_ms_mbps(8.0, 80.0);
+                }
+            }
+        }
+        Runtime::new(topo, model)
+    }
+
+    /// Reference solve via the normal equations (fine for these
+    /// well-conditioned test problems).
+    fn reference(a: &Matrix, b: &[f64]) -> Vec<f64> {
+        let n = a.cols();
+        let g = a.t_matmul(a);
+        let atb = {
+            let bm = Matrix::from_col_major(b.len(), 1, b.to_vec()).unwrap();
+            a.t_matmul(&bm)
+        };
+        let r = tsqr_linalg::cholesky::potrf_upper(&g).unwrap();
+        // Solve RᵀR x = Aᵀb.
+        let mut y = atb.col(0).to_vec();
+        trsv(Triangle::Lower, &r.transpose().view(), &mut y);
+        trsv(Triangle::Upper, &r.view(), &mut y);
+        (0..n).map(|i| y[i]).collect()
+    }
+
+    #[test]
+    fn exact_system_is_solved_exactly() {
+        // b in the range of A: residual must vanish and x must be exact.
+        let (m, n) = (160usize, 5usize);
+        let a = workload::full_matrix(81, m, n);
+        let x_true: Vec<f64> = (0..n).map(|i| (i + 1) as f64).collect();
+        let b: Vec<f64> = (0..m)
+            .map(|i| (0..n).map(|j| a[(i, j)] * x_true[j]).sum())
+            .collect();
+        for (clusters, procs) in [(1, 1), (1, 4), (2, 4)] {
+            let rt = mini_grid(clusters, procs);
+            let out = lstsq_distributed(&rt, &a, &b, procs, TreeShape::GridHierarchical);
+            for (got, want) in out.x.iter().zip(&x_true) {
+                assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+            }
+            assert!(out.r_min_diag > 0.0);
+        }
+    }
+
+    #[test]
+    fn overdetermined_system_matches_normal_equations() {
+        let (m, n) = (240usize, 6usize);
+        let a = workload::full_matrix(83, m, n);
+        let b: Vec<f64> = (0..m).map(|i| workload::entry(84, i as u64, 0)).collect();
+        let rt = mini_grid(2, 4);
+        let out = lstsq_distributed(&rt, &a, &b, 4, TreeShape::GridHierarchical);
+        let want = reference(&a, &b);
+        for (got, want) in out.x.iter().zip(&want) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn residual_is_orthogonal_to_the_range() {
+        // The optimality condition: Aᵀ(Ax − b) = 0.
+        let (m, n) = (200usize, 4usize);
+        let a = workload::full_matrix(85, m, n);
+        let b: Vec<f64> = (0..m).map(|i| workload::entry(86, i as u64, 3)).collect();
+        let rt = mini_grid(1, 4);
+        let out = lstsq_distributed(&rt, &a, &b, 4, TreeShape::Binary);
+        let x = Matrix::from_col_major(n, 1, out.x).unwrap();
+        let bm = Matrix::from_col_major(m, 1, b).unwrap();
+        let resid = a.matmul(&x).sub_elem(&bm);
+        let grad = a.t_matmul(&resid);
+        assert!(grad.norm_max() < 1e-10 * bm.norm_fro(), "AᵀAx != Aᵀb");
+    }
+
+    #[test]
+    fn all_tree_shapes_agree() {
+        let (m, n) = (192usize, 4usize);
+        let a = workload::full_matrix(87, m, n);
+        let b: Vec<f64> = (0..m).map(|i| workload::entry(88, i as u64, 7)).collect();
+        let rt = mini_grid(2, 4);
+        let results: Vec<Vec<f64>> =
+            [TreeShape::Flat, TreeShape::Binary, TreeShape::GridHierarchical]
+                .iter()
+                .map(|&s| lstsq_distributed(&rt, &a, &b, 4, s).x)
+                .collect();
+        for r in &results[1..] {
+            for (x, y) in r.iter().zip(&results[0]) {
+                assert!((x - y).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn singularity_is_reported_through_min_diag() {
+        // Two identical columns → R has a ~0 diagonal entry. Check the
+        // probe rather than the (noise-determined) solution.
+        let (m, n) = (96usize, 3usize);
+        let a = Matrix::from_fn(m, n, |i, j| {
+            let col = if j == 1 { 0 } else { j };
+            workload::entry(89, i as u64, col as u64)
+        });
+        let rt = mini_grid(1, 2);
+        let (layout, tree) = {
+            let layout = DomainLayout::build(rt.topology(), m as u64, n, 2);
+            let tree =
+                ReductionTree::build(TreeShape::Binary, layout.num_domains(), &layout.clusters());
+            (layout, tree)
+        };
+        let report = rt.run(|p, world| {
+            let r = lstsq_rank_program_with(
+                p,
+                world,
+                &layout,
+                &tree,
+                None,
+                |row0, rows| a.sub_matrix(row0 as usize, 0, rows, n),
+                |_row0, rows| vec![1.0; rows],
+            );
+            // The solve may produce huge/naff values; what matters is that
+            // the conditioning probe fires.
+            match r {
+                Ok(out) => Ok(out.r_min_diag),
+                Err(e) => Err(e),
+            }
+        });
+        let min_diag = report.ranks[0].result.clone().unwrap();
+        assert!(min_diag < 1e-10, "rank deficiency must show in the probe");
+    }
+}

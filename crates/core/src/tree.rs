@@ -1,0 +1,319 @@
+//! Reduction-tree schedules for the TSQR all-reduce.
+//!
+//! TSQR is "a single complex reduce operation" (§II-C); the *shape* of the
+//! reduction tree is the paper's key tuning knob. Previous work used flat
+//! trees (out-of-core, multicore) or binary trees (parallel distributed);
+//! the contribution here is the **grid-hierarchical** tree of Fig. 2: a
+//! binary tree inside each cluster, then a binary tree across the cluster
+//! roots, which pushes the inter-cluster message count down to
+//! `#clusters − 1` regardless of the matrix width.
+//!
+//! A schedule assigns every participant an ordered list of [`Step`]s; a
+//! participant that reaches a `Send` forwards its accumulated R factor and
+//! is done. Executing the steps in order, combining on every `Recv`,
+//! performs the reduction; executing them *in reverse* with the roles
+//! swapped walks the same tree downward, which is how the explicit Q is
+//! reconstructed (each combine node scatters its `[E1; E2]` blocks back to
+//! the children that supplied `R1`/`R2`).
+
+/// One action in a participant's reduction schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Receive a partner's R factor (by participant index) and combine it
+    /// into ours (ours is `R1`, theirs is `R2`).
+    Recv(usize),
+    /// Send our accumulated R factor to a parent (by participant index).
+    /// Always the last step of a non-root participant.
+    Send(usize),
+}
+
+/// The shape of the reduction tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeShape {
+    /// Everyone sends to participant 0, which combines sequentially —
+    /// the out-of-core / multicore shape.
+    Flat,
+    /// Topology-oblivious binary tree over participant indices — what a
+    /// grid-unaware MPI reduction does.
+    Binary,
+    /// Binary tree within each cluster, then binary tree over the cluster
+    /// roots — the paper's tuned tree (Fig. 2).
+    GridHierarchical,
+}
+
+/// A complete reduction schedule: `steps[i]` is participant `i`'s program.
+/// Participant 0 is always the root (it holds the final R).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReductionTree {
+    /// Per-participant step lists.
+    pub steps: Vec<Vec<Step>>,
+}
+
+impl ReductionTree {
+    /// Builds the schedule for `n` participants.
+    ///
+    /// `cluster_of[i]` gives participant `i`'s cluster and is only
+    /// consulted by [`TreeShape::GridHierarchical`]; participants of a
+    /// cluster must form a contiguous index range for the hierarchical
+    /// shape (which the QCG allocation guarantees).
+    pub fn build(shape: TreeShape, n: usize, cluster_of: &[usize]) -> Self {
+        assert!(n > 0, "reduction over zero participants");
+        match shape {
+            TreeShape::Flat => Self::flat(&(0..n).collect::<Vec<_>>()),
+            TreeShape::Binary => Self::binary(&(0..n).collect::<Vec<_>>()),
+            TreeShape::GridHierarchical => {
+                assert_eq!(cluster_of.len(), n, "cluster_of length mismatch");
+                Self::hierarchical(n, cluster_of)
+            }
+        }
+    }
+
+    /// Flat tree over the given participant ids: `ids[0]` receives from
+    /// every other id in order.
+    fn flat(ids: &[usize]) -> Self {
+        let mut steps = vec![Vec::new(); ids.iter().copied().max().unwrap_or(0) + 1];
+        for &other in &ids[1..] {
+            steps[ids[0]].push(Step::Recv(other));
+            steps[other].push(Step::Send(ids[0]));
+        }
+        ReductionTree { steps }
+    }
+
+    /// Binary tree over the given participant ids (classic halving:
+    /// at stride `s`, the id at even position receives from position+s).
+    fn binary(ids: &[usize]) -> Self {
+        let mut steps = vec![Vec::new(); ids.iter().copied().max().unwrap_or(0) + 1];
+        Self::binary_into(ids, &mut steps);
+        ReductionTree { steps }
+    }
+
+    fn binary_into(ids: &[usize], steps: &mut [Vec<Step>]) {
+        let p = ids.len();
+        let mut stride = 1;
+        while stride < p {
+            let mut pos = 0;
+            while pos < p {
+                if pos % (2 * stride) == 0 {
+                    if pos + stride < p {
+                        steps[ids[pos]].push(Step::Recv(ids[pos + stride]));
+                    }
+                } else {
+                    steps[ids[pos]].push(Step::Send(ids[pos - stride]));
+                }
+                pos += stride;
+            }
+            stride *= 2;
+        }
+    }
+
+    /// Fig. 2's tree: binary within each cluster, then binary over cluster
+    /// roots. The overall root is the root of cluster 0 (participant 0).
+    fn hierarchical(n: usize, cluster_of: &[usize]) -> Self {
+        let mut steps = vec![Vec::new(); n];
+        // Group contiguous participants by cluster.
+        let mut cluster_ids: Vec<Vec<usize>> = Vec::new();
+        for i in 0..n {
+            match cluster_ids.last_mut() {
+                Some(grp) if cluster_of[grp[0]] == cluster_of[i] => grp.push(i),
+                _ => cluster_ids.push(vec![i]),
+            }
+        }
+        // Stage 1: binary tree inside each cluster.
+        for grp in &cluster_ids {
+            Self::binary_into(grp, &mut steps);
+        }
+        // Stage 2: binary tree over the cluster roots.
+        let roots: Vec<usize> = cluster_ids.iter().map(|g| g[0]).collect();
+        Self::binary_into(&roots, &mut steps);
+        ReductionTree { steps }
+    }
+
+    /// Number of participants.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when there are no participants (never produced by `build`).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Total number of messages in the whole reduction (= edges of the
+    /// tree = `n − 1`).
+    pub fn total_messages(&self) -> usize {
+        self.steps
+            .iter()
+            .flatten()
+            .filter(|s| matches!(s, Step::Send(_)))
+            .count()
+    }
+
+    /// Messages crossing clusters, under the given participant→cluster map.
+    pub fn inter_cluster_messages(&self, cluster_of: &[usize]) -> usize {
+        let mut count = 0;
+        for (i, steps) in self.steps.iter().enumerate() {
+            for s in steps {
+                if let Step::Send(to) = s {
+                    if cluster_of[i] != cluster_of[*to] {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    /// Depth of the tree: the longest chain of sequential combine steps at
+    /// any participant — the `log₂(P)` factor of Table I for the binary
+    /// shape.
+    pub fn depth(&self) -> usize {
+        self.steps.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Executes the schedule on plain integers with a "combine" that
+    /// collects the multiset of leaves; checks the root sees everyone.
+    fn simulate(tree: &ReductionTree) -> Vec<usize> {
+        let n = tree.len();
+        let mut acc: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+        // Replay: process steps globally in a data-driven order.
+        let mut queues: Vec<std::collections::VecDeque<Step>> =
+            tree.steps.iter().map(|s| s.iter().copied().collect()).collect();
+        let mut mailbox: Vec<Vec<(usize, Vec<usize>)>> = vec![Vec::new(); n];
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for i in 0..n {
+                while let Some(&step) = queues[i].front() {
+                    match step {
+                        Step::Send(to) => {
+                            let payload = std::mem::take(&mut acc[i]);
+                            mailbox[to].push((i, payload));
+                            queues[i].pop_front();
+                            progress = true;
+                        }
+                        Step::Recv(from) => {
+                            if let Some(pos) =
+                                mailbox[i].iter().position(|(src, _)| *src == from)
+                            {
+                                let (_, payload) = mailbox[i].remove(pos);
+                                acc[i].extend(payload);
+                                queues[i].pop_front();
+                                progress = true;
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(queues.iter().all(|q| q.is_empty()), "schedule deadlocked");
+        let mut got = acc[0].clone();
+        got.sort_unstable();
+        got
+    }
+
+    #[test]
+    fn all_shapes_reduce_everything_to_root() {
+        for n in [1, 2, 3, 4, 5, 7, 8, 16, 33] {
+            let clusters: Vec<usize> = (0..n).map(|i| i * 4 / n).collect();
+            for shape in [TreeShape::Flat, TreeShape::Binary, TreeShape::GridHierarchical] {
+                let tree = ReductionTree::build(shape, n, &clusters);
+                let got = simulate(&tree);
+                assert_eq!(got, (0..n).collect::<Vec<_>>(), "{shape:?} with n={n}");
+                assert_eq!(tree.total_messages(), n - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn binary_depth_is_log2() {
+        for (n, d) in [(2, 1), (4, 2), (8, 3), (16, 4), (9, 4)] {
+            let tree = ReductionTree::build(TreeShape::Binary, n, &vec![0usize; n]);
+            assert_eq!(tree.depth(), d, "n={n}");
+        }
+    }
+
+    #[test]
+    fn flat_depth_is_linear() {
+        let tree = ReductionTree::build(TreeShape::Flat, 8, &[0; 8]);
+        assert_eq!(tree.depth(), 7);
+    }
+
+    #[test]
+    fn hierarchical_minimizes_inter_cluster_messages() {
+        // The headline property (Fig. 2): with C clusters the tuned tree
+        // sends exactly C − 1 inter-cluster messages; a topology-oblivious
+        // binary tree sends more.
+        for (n, n_clusters) in [(12, 3), (16, 4), (64, 4), (256, 4)] {
+            let per = n / n_clusters;
+            let cluster_of: Vec<usize> = (0..n).map(|i| i / per).collect();
+            let tuned = ReductionTree::build(TreeShape::GridHierarchical, n, &cluster_of);
+            assert_eq!(
+                tuned.inter_cluster_messages(&cluster_of),
+                n_clusters - 1,
+                "tuned tree, n={n}"
+            );
+            let oblivious = ReductionTree::build(TreeShape::Binary, n, &cluster_of);
+            assert!(
+                oblivious.inter_cluster_messages(&cluster_of) >= n_clusters - 1,
+                "binary tree can't beat the tuned tree"
+            );
+        }
+        // A shuffled placement makes the oblivious tree strictly worse.
+        let n = 16;
+        let shuffled: Vec<usize> = (0..n).map(|i| i % 4).collect(); // interleaved clusters
+        let oblivious = ReductionTree::build(TreeShape::Binary, n, &shuffled);
+        assert!(
+            oblivious.inter_cluster_messages(&shuffled) > 3,
+            "interleaved ranks force extra WAN messages, got {}",
+            oblivious.inter_cluster_messages(&shuffled)
+        );
+    }
+
+    #[test]
+    fn hierarchical_depth_is_sum_of_stages() {
+        // 4 clusters × 16 participants: 4 levels inside + 2 levels across.
+        let n = 64;
+        let cluster_of: Vec<usize> = (0..n).map(|i| i / 16).collect();
+        let tree = ReductionTree::build(TreeShape::GridHierarchical, n, &cluster_of);
+        assert_eq!(tree.depth(), 4 + 2);
+    }
+
+    #[test]
+    fn single_participant_has_empty_schedule() {
+        for shape in [TreeShape::Flat, TreeShape::Binary, TreeShape::GridHierarchical] {
+            let tree = ReductionTree::build(shape, 1, &[0]);
+            assert!(tree.steps[0].is_empty());
+            assert_eq!(tree.total_messages(), 0);
+        }
+    }
+
+    #[test]
+    fn non_root_ends_with_send_root_never_sends() {
+        for n in [2, 5, 8, 13] {
+            let cluster_of: Vec<usize> = (0..n).map(|i| i / 3).collect();
+            for shape in [TreeShape::Flat, TreeShape::Binary, TreeShape::GridHierarchical] {
+                let tree = ReductionTree::build(shape, n, &cluster_of);
+                for (i, steps) in tree.steps.iter().enumerate() {
+                    if i == 0 {
+                        assert!(
+                            steps.iter().all(|s| matches!(s, Step::Recv(_))),
+                            "root must only receive"
+                        );
+                    } else {
+                        assert!(matches!(steps.last(), Some(Step::Send(_))));
+                        let sends =
+                            steps.iter().filter(|s| matches!(s, Step::Send(_))).count();
+                        assert_eq!(sends, 1, "each non-root sends exactly once");
+                    }
+                }
+            }
+        }
+    }
+}

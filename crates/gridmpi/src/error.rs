@@ -1,0 +1,67 @@
+//! Communication errors.
+
+use std::fmt;
+
+/// Errors surfaced by the message-passing layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// The (injected) link between two ranks is down.
+    LinkDown {
+        /// Sending rank.
+        src: usize,
+        /// Receiving rank.
+        dst: usize,
+    },
+    /// A receive waited past the wall-clock safety timeout — almost always
+    /// a deadlocked or crashed peer in a test program.
+    Timeout {
+        /// The rank that was waiting.
+        rank: usize,
+        /// The rank it was waiting for.
+        from: usize,
+    },
+    /// The peer thread terminated (channel disconnected) before sending.
+    PeerGone {
+        /// The rank that was waiting.
+        rank: usize,
+        /// The rank whose channel closed.
+        from: usize,
+    },
+    /// A message arrived with an unexpected tag — a protocol bug in the
+    /// rank program.
+    TagMismatch {
+        /// Tag the receiver expected.
+        expected: u32,
+        /// Tag that actually arrived.
+        got: u32,
+    },
+    /// A message payload had a different type than the receiver requested.
+    TypeMismatch {
+        /// Static type name the receiver asked for.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::LinkDown { src, dst } => {
+                write!(f, "link {src} -> {dst} is down")
+            }
+            CommError::Timeout { rank, from } => {
+                write!(f, "rank {rank} timed out waiting for a message from {from}")
+            }
+            CommError::PeerGone { rank, from } => {
+                write!(f, "rank {rank}: peer {from} terminated before sending")
+            }
+            CommError::TagMismatch { expected, got } => {
+                write!(f, "tag mismatch: expected {expected}, got {got}")
+            }
+            CommError::TypeMismatch { expected } => {
+                write!(f, "payload type mismatch: expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}

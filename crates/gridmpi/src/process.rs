@@ -1,0 +1,287 @@
+//! The per-rank handle: point-to-point messaging, virtual clock, counters.
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+
+use tsqr_netsim::{CostModel, GridTopology, LinkClass, ProcLocation, VirtualTime};
+
+use crate::error::CommError;
+use crate::message::{Envelope, WirePayload};
+use crate::trace::{Event, EventKind, Recorder};
+
+/// Default wall-clock safety net for receives: a rank waiting longer than
+/// this on a real channel is considered deadlocked (peer crashed or
+/// protocol bug). Override per runtime with
+/// [`crate::Runtime::set_recv_timeout`].
+pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Per-rank traffic counters, bucketed by [`LinkClass::bucket`]
+/// (0 = intra-node, 1 = intra-cluster, 2 = inter-cluster).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficCounters {
+    /// Messages sent, per bucket.
+    pub msgs: [u64; 3],
+    /// Payload bytes sent, per bucket.
+    pub bytes: [u64; 3],
+    /// Floating-point operations charged via [`Process::compute`].
+    pub flops: u64,
+}
+
+impl TrafficCounters {
+    /// Total messages across all link classes.
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs.iter().sum()
+    }
+
+    /// Total bytes across all link classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Messages that crossed a wide-area (inter-cluster) link.
+    pub fn inter_cluster_msgs(&self) -> u64 {
+        self.msgs[2]
+    }
+
+    /// Element-wise sum.
+    pub fn merge(&self, other: &TrafficCounters) -> TrafficCounters {
+        let mut out = *self;
+        for i in 0..3 {
+            out.msgs[i] += other.msgs[i];
+            out.bytes[i] += other.bytes[i];
+        }
+        out.flops += other.flops;
+        out
+    }
+}
+
+/// Final per-rank statistics reported by the runtime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankStats {
+    /// The rank's final virtual clock.
+    pub clock: VirtualTime,
+    /// Its traffic counters.
+    pub traffic: TrafficCounters,
+}
+
+/// A rank's handle to the simulated machine.
+///
+/// Created by [`crate::Runtime::run`] and passed to the rank program; all
+/// communication, timing and accounting goes through it.
+pub struct Process {
+    pub(crate) rank: usize,
+    pub(crate) size: usize,
+    pub(crate) topo: Arc<GridTopology>,
+    pub(crate) model: Arc<CostModel>,
+    pub(crate) failed_links: Arc<HashSet<(usize, usize)>>,
+    pub(crate) senders: Vec<Sender<Envelope>>,
+    pub(crate) inbox: Receiver<Envelope>,
+    /// Messages that arrived while waiting for a different source.
+    pub(crate) pending: VecDeque<Envelope>,
+    pub(crate) clock: VirtualTime,
+    /// Time until which this rank's receive NIC is busy clocking bytes in.
+    /// Concurrent senders to the same receiver serialize on it — without
+    /// this, a flat reduction tree would absorb P−1 simultaneous messages
+    /// for free.
+    pub(crate) nic_free: VirtualTime,
+    pub(crate) counters: TrafficCounters,
+    /// Wall-clock deadlock safety net for receives.
+    pub(crate) recv_timeout: Duration,
+    /// Event recorder (present when the runtime enabled tracing).
+    pub(crate) recorder: Option<Recorder>,
+}
+
+impl Process {
+    /// This rank's global index.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks in the run.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// This rank's physical coordinate.
+    pub fn location(&self) -> ProcLocation {
+        self.topo.location(self.rank)
+    }
+
+    /// The cluster (site) this rank lives on.
+    pub fn cluster(&self) -> usize {
+        self.location().cluster
+    }
+
+    /// The shared topology.
+    pub fn topology(&self) -> &GridTopology {
+        &self.topo
+    }
+
+    /// The shared cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Current virtual time at this rank.
+    #[inline]
+    pub fn clock(&self) -> VirtualTime {
+        self.clock
+    }
+
+    /// Traffic counters so far.
+    #[inline]
+    pub fn counters(&self) -> TrafficCounters {
+        self.counters
+    }
+
+    /// Advances the clock by an explicit span (e.g. externally-modelled
+    /// work).
+    pub fn advance(&mut self, dt: VirtualTime) {
+        self.clock += dt;
+    }
+
+    /// Charges `flops` floating-point operations at `rate` flop/s (the
+    /// model's default rate when `None`) and advances the clock.
+    pub fn compute(&mut self, flops: u64, rate: Option<f64>) {
+        let start = self.clock;
+        self.counters.flops += flops;
+        self.clock += self.model.compute_time(flops, rate);
+        if let Some(rec) = &mut self.recorder {
+            rec.events.push(Event {
+                rank: self.rank,
+                start,
+                end: self.clock,
+                kind: EventKind::Compute { flops },
+            });
+        }
+    }
+
+    /// True unless a failure was injected on the `self → dst` link.
+    pub fn link_ok(&self, dst: usize) -> bool {
+        !self.failed_links.contains(&(self.rank, dst))
+    }
+
+    /// Blocking send of `msg` to `dst`.
+    ///
+    /// Completes (and advances this rank's clock) at
+    /// `clock + β + α·wire_bytes`; the message arrives at the same instant,
+    /// which models a rendezvous transfer whose cost lands on the critical
+    /// path exactly once — the convention under which the paper counts
+    /// `β·#msg + α·vol` (Eq. (1)).
+    pub fn send<M: WirePayload>(&mut self, dst: usize, tag: u32, msg: M) -> Result<(), CommError> {
+        assert!(dst < self.size, "send to nonexistent rank {dst}");
+        assert_ne!(dst, self.rank, "self-sends are a protocol bug");
+        if !self.link_ok(dst) {
+            return Err(CommError::LinkDown { src: self.rank, dst });
+        }
+        let bytes = msg.wire_bytes();
+        let from = self.location();
+        let to = self.topo.location(dst);
+        let class = LinkClass::between(from, to);
+        self.counters.msgs[class.bucket()] += 1;
+        self.counters.bytes[class.bucket()] += bytes;
+        let send_start = self.clock;
+        self.clock += self.model.message_time(from, to, bytes);
+        if let Some(rec) = &mut self.recorder {
+            rec.events.push(Event {
+                rank: self.rank,
+                start: send_start,
+                end: self.clock,
+                kind: EventKind::Send { to: dst, bytes, class },
+            });
+        }
+        let env = Envelope {
+            src: self.rank,
+            tag,
+            arrival: self.clock,
+            bytes,
+            payload: Box::new(msg),
+        };
+        // Unbounded channel: never blocks. A disconnected receiver means the
+        // peer thread already returned — surface that as PeerGone.
+        self.senders[dst]
+            .send(env)
+            .map_err(|_| CommError::PeerGone { rank: self.rank, from: dst })
+    }
+
+    /// Blocking receive of a message from `src` with tag `tag`.
+    ///
+    /// Advances the clock to the message's arrival time (if later). Messages
+    /// from other sources that arrive in the meantime are buffered.
+    pub fn recv<M: WirePayload>(&mut self, src: usize, tag: u32) -> Result<M, CommError> {
+        assert!(src < self.size, "recv from nonexistent rank {src}");
+        // Check the pending buffer first (FIFO per source).
+        if let Some(pos) = self.pending.iter().position(|e| e.src == src) {
+            let env = self.pending.remove(pos).expect("position just found");
+            return self.open::<M>(env, tag);
+        }
+        loop {
+            match self.inbox.recv_timeout(self.recv_timeout) {
+                Ok(env) if env.src == src => return self.open::<M>(env, tag),
+                Ok(env) => self.pending.push_back(env),
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(CommError::Timeout { rank: self.rank, from: src })
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::PeerGone { rank: self.rank, from: src })
+                }
+            }
+        }
+    }
+
+    /// Combined exchange with a partner: send ours, receive theirs.
+    ///
+    /// The two transfers overlap on the wire (full-duplex), so the clock
+    /// advance is the max of the send completion and the partner's arrival —
+    /// the behaviour of one butterfly round of an all-reduce.
+    pub fn exchange<M: WirePayload>(
+        &mut self,
+        partner: usize,
+        tag: u32,
+        msg: M,
+    ) -> Result<M, CommError> {
+        let before = self.clock;
+        self.send(partner, tag, msg)?;
+        let after_send = self.clock;
+        // The send and the receive overlap: rewind to the pre-send clock for
+        // the receive wait, then take the max.
+        self.clock = before;
+        let got = self.recv::<M>(partner, tag)?;
+        self.clock = self.clock.max(after_send);
+        Ok(got)
+    }
+
+    fn open<M: WirePayload>(&mut self, env: Envelope, tag: u32) -> Result<M, CommError> {
+        if env.tag != tag {
+            return Err(CommError::TagMismatch { expected: tag, got: env.tag });
+        }
+        // Receiver-side NIC serialization: the bytes of this message must
+        // be clocked in after whatever the NIC was already receiving. For
+        // an idle NIC this is exactly `arrival`; for a hot one (e.g. the
+        // root of a flat tree with P−1 concurrent senders) messages queue.
+        let from = self.topo.location(env.src);
+        let link = self.model.link(from, self.location());
+        let wire = VirtualTime::from_secs(env.bytes as f64 * 8.0 / link.bandwidth_bps);
+        let done = env.arrival.max(self.nic_free + wire);
+        self.nic_free = done;
+        let wait_start = self.clock;
+        self.clock = self.clock.max(done);
+        if let Some(rec) = &mut self.recorder {
+            rec.events.push(Event {
+                rank: self.rank,
+                start: wait_start,
+                end: self.clock,
+                kind: EventKind::Recv { from: env.src, bytes: env.bytes },
+            });
+        }
+        env.payload
+            .downcast::<M>()
+            .map(|b| *b)
+            .map_err(|_| CommError::TypeMismatch { expected: std::any::type_name::<M>() })
+    }
+}

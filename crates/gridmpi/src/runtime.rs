@@ -1,0 +1,420 @@
+//! Launching rank programs and collecting run reports.
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::unbounded;
+
+use tsqr_netsim::{CostModel, GridTopology, VirtualTime};
+
+use crate::comm::Communicator;
+use crate::error::CommError;
+use crate::message::Envelope;
+use crate::process::{Process, RankStats, TrafficCounters};
+use crate::trace::{Recorder, Trace};
+
+/// Outcome of one rank: its program result (or communication error) plus
+/// its final statistics.
+#[derive(Debug, Clone)]
+pub struct RankResult<T> {
+    /// What the rank program returned.
+    pub result: Result<T, CommError>,
+    /// Final clock and traffic counters.
+    pub stats: RankStats,
+}
+
+/// Aggregated outcome of a run.
+#[derive(Debug, Clone)]
+pub struct RunReport<T> {
+    /// Per-rank results, indexed by rank.
+    pub ranks: Vec<RankResult<T>>,
+    /// The simulated wall-clock time of the whole program — the largest
+    /// final virtual clock across ranks. This is the `time` of Eq. (1).
+    pub makespan: VirtualTime,
+    /// Sum of all per-rank traffic counters.
+    pub totals: TrafficCounters,
+    /// The merged event trace, when tracing was enabled.
+    pub trace: Option<Trace>,
+}
+
+impl<T> RunReport<T> {
+    /// Unwraps every rank's result, panicking on the first `CommError`.
+    pub fn unwrap_results(self) -> Vec<T> {
+        self.ranks
+            .into_iter()
+            .enumerate()
+            .map(|(r, rr)| match rr.result {
+                Ok(v) => v,
+                Err(e) => panic!("rank {r} failed: {e}"),
+            })
+            .collect()
+    }
+
+    /// The result of rank 0 (where reductions root by convention).
+    pub fn root_result(&self) -> &Result<T, CommError> {
+        &self.ranks[0].result
+    }
+
+    /// Critical-path message count: the maximum number of messages sent by
+    /// any single rank (a per-rank proxy used by tree-shape tests).
+    pub fn max_msgs_per_rank(&self) -> u64 {
+        self.ranks.iter().map(|r| r.stats.traffic.total_msgs()).max().unwrap_or(0)
+    }
+}
+
+/// A simulated machine: topology + cost model + optional failure injection.
+///
+/// `run` launches one OS thread per rank and blocks until all rank programs
+/// return. Rank counts used in this workspace (≤ 256) are comfortably
+/// within OS thread limits.
+pub struct Runtime {
+    topo: Arc<GridTopology>,
+    model: Arc<CostModel>,
+    failed_links: HashSet<(usize, usize)>,
+    recv_timeout: Duration,
+    tracing: bool,
+}
+
+impl Runtime {
+    /// Builds a runtime for the given grid.
+    pub fn new(topo: GridTopology, model: CostModel) -> Self {
+        let model = model.validated_for(&topo);
+        Runtime {
+            topo: Arc::new(topo),
+            model: Arc::new(model),
+            failed_links: HashSet::new(),
+            recv_timeout: crate::process::DEFAULT_RECV_TIMEOUT,
+            tracing: false,
+        }
+    }
+
+    /// Records every send/receive/compute with its virtual-time span; the
+    /// merged [`Trace`] is returned in the run report.
+    pub fn enable_tracing(&mut self) -> &mut Self {
+        self.tracing = true;
+        self
+    }
+
+    /// Overrides the wall-clock deadlock timeout on receives (useful for
+    /// failure-injection tests, where some rank is expected to starve).
+    pub fn set_recv_timeout(&mut self, timeout: Duration) -> &mut Self {
+        self.recv_timeout = timeout;
+        self
+    }
+
+    /// Injects a deterministic failure on the directed link `src → dst`:
+    /// subsequent sends return [`CommError::LinkDown`].
+    pub fn fail_link(&mut self, src: usize, dst: usize) -> &mut Self {
+        self.failed_links.insert((src, dst));
+        self
+    }
+
+    /// The topology this runtime simulates.
+    pub fn topology(&self) -> &GridTopology {
+        &self.topo
+    }
+
+    /// The cost model in force.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Runs `program` on every rank and gathers the report.
+    ///
+    /// The program receives the rank's [`Process`] handle and the *world*
+    /// communicator spanning all ranks.
+    pub fn run<T, F>(&self, program: F) -> RunReport<T>
+    where
+        T: Send,
+        F: Fn(&mut Process, &Communicator) -> Result<T, CommError> + Sync,
+    {
+        let n = self.topo.num_procs();
+        assert!(n > 0, "cannot run on an empty topology");
+        let (senders, inboxes): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded::<Envelope>()).unzip();
+        let failed = Arc::new(self.failed_links.clone());
+
+        let mut rank_results: Vec<Option<RankResult<T>>> = (0..n).map(|_| None).collect();
+        let mut rank_traces: Vec<Vec<crate::trace::Event>> = (0..n).map(|_| Vec::new()).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (rank, inbox) in inboxes.into_iter().enumerate() {
+                let senders = senders.clone();
+                let topo = Arc::clone(&self.topo);
+                let model = Arc::clone(&self.model);
+                let failed = Arc::clone(&failed);
+                let program = &program;
+                handles.push(scope.spawn(move || {
+                    let mut proc = Process {
+                        rank,
+                        size: n,
+                        topo,
+                        model,
+                        failed_links: failed,
+                        senders,
+                        inbox,
+                        pending: VecDeque::new(),
+                        clock: VirtualTime::ZERO,
+                        nic_free: VirtualTime::ZERO,
+                        counters: TrafficCounters::default(),
+                        recv_timeout: self.recv_timeout,
+                        recorder: self.tracing.then(Recorder::default),
+                    };
+                    let world = Communicator::world(n);
+                    let result = program(&mut proc, &world);
+                    let events = proc.recorder.take().map(|r| r.events).unwrap_or_default();
+                    (
+                        RankResult {
+                            result,
+                            stats: RankStats { clock: proc.clock, traffic: proc.counters },
+                        },
+                        events,
+                    )
+                }));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok((rr, events)) => {
+                        rank_results[rank] = Some(rr);
+                        rank_traces[rank] = events;
+                    }
+                    Err(p) => std::panic::resume_unwind(p),
+                }
+            }
+        });
+
+        let ranks: Vec<RankResult<T>> =
+            rank_results.into_iter().map(|r| r.expect("all ranks joined")).collect();
+        let makespan =
+            ranks.iter().map(|r| r.stats.clock).max().unwrap_or(VirtualTime::ZERO);
+        let totals = ranks
+            .iter()
+            .fold(TrafficCounters::default(), |acc, r| acc.merge(&r.stats.traffic));
+        let trace = self
+            .tracing
+            .then(|| Trace::from_parts(rank_traces.into_iter().flatten().collect()));
+        RunReport { ranks, makespan, totals, trace }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsqr_netsim::{ClusterSpec, LinkParams};
+
+    fn tiny_grid(clusters: usize, nodes: usize, ppn: usize) -> Runtime {
+        let specs = (0..clusters)
+            .map(|i| ClusterSpec {
+                name: format!("c{i}"),
+                nodes,
+                procs_per_node: ppn,
+                peak_gflops_per_proc: 8.0,
+            })
+            .collect();
+        let topo = GridTopology::block_placement(specs, nodes, ppn);
+        let mut model =
+            CostModel::homogeneous(LinkParams::from_ms_mbps(1.0, 800.0), 1e9, clusters);
+        // Make the hierarchy visible: cheap intra-node, expensive WAN.
+        model.intra_node = LinkParams::from_ms_mbps(0.01, 5000.0);
+        for a in 0..clusters {
+            for b in 0..clusters {
+                if a != b {
+                    model.inter_cluster[a][b] = LinkParams::from_ms_mbps(10.0, 80.0);
+                }
+            }
+        }
+        Runtime::new(topo, model)
+    }
+
+    #[test]
+    fn ping_pong_advances_both_clocks() {
+        let rt = tiny_grid(1, 2, 1);
+        let report = rt.run(|p, _| {
+            if p.rank() == 0 {
+                p.send(1, 7, 42.0f64)?;
+                let x: f64 = p.recv(1, 8)?;
+                Ok(x)
+            } else {
+                let x: f64 = p.recv(0, 7)?;
+                p.send(0, 8, x * 2.0)?;
+                Ok(x)
+            }
+        });
+        let results = report.clone_results();
+        assert_eq!(results, vec![84.0, 42.0]);
+        // Two 8-byte messages at 1 ms latency each: makespan ≥ 2 ms.
+        assert!(report.makespan.secs() >= 2e-3);
+        assert_eq!(report.totals.total_msgs(), 2);
+        assert_eq!(report.totals.total_bytes(), 16);
+    }
+
+    impl<T: Clone> RunReport<T> {
+        fn clone_results(&self) -> Vec<T> {
+            self.ranks.iter().map(|r| r.result.clone().unwrap()).collect()
+        }
+    }
+
+    #[test]
+    fn virtual_time_is_deterministic_across_runs() {
+        let rt = tiny_grid(2, 2, 2);
+        let run = || {
+            rt.run(|p, _| {
+                // Ring: send to the next rank, receive from the previous.
+                let next = (p.rank() + 1) % p.size();
+                let prev = (p.rank() + p.size() - 1) % p.size();
+                p.compute(1_000_000 * (p.rank() as u64 + 1), None);
+                p.send(next, 0, p.rank() as f64)?;
+                let _x: f64 = p.recv(prev, 0)?;
+                Ok(p.clock().secs())
+            })
+            .clone_results()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "virtual clocks must be schedule-independent");
+    }
+
+    #[test]
+    fn counters_classify_link_classes() {
+        let rt = tiny_grid(2, 2, 2); // ranks 0..4 on cluster 0, 4..8 on cluster 1
+        let report = rt.run(|p, _| {
+            match p.rank() {
+                0 => {
+                    p.send(1, 0, ())?; // same node (slots 0,1 of node 0)
+                    p.send(2, 0, ())?; // same cluster, different node
+                    p.send(4, 0, ())?; // other cluster
+                }
+                1 => {
+                    let _: () = p.recv(0, 0)?;
+                }
+                2 => {
+                    let _: () = p.recv(0, 0)?;
+                }
+                4 => {
+                    let _: () = p.recv(0, 0)?;
+                }
+                _ => {}
+            }
+            Ok(())
+        });
+        let c0 = report.ranks[0].stats.traffic;
+        assert_eq!(c0.msgs, [1, 1, 1]);
+        assert_eq!(report.totals.inter_cluster_msgs(), 1);
+    }
+
+    #[test]
+    fn compute_charges_gamma() {
+        let rt = tiny_grid(1, 1, 2);
+        let report = rt.run(|p, _| {
+            p.compute(2_000_000_000, None); // 2 Gflop at 1 Gflop/s
+            Ok(())
+        });
+        assert!((report.makespan.secs() - 2.0).abs() < 1e-9);
+        assert_eq!(report.totals.flops, 4_000_000_000);
+    }
+
+    #[test]
+    fn exchange_overlaps_transfers() {
+        let rt = tiny_grid(1, 2, 1);
+        let report = rt.run(|p, _| {
+            let partner = 1 - p.rank();
+            let got: f64 = p.exchange(partner, 3, p.rank() as f64)?;
+            Ok(got)
+        });
+        assert_eq!(report.clone_results(), vec![1.0, 0.0]);
+        // Full duplex: one exchange should cost ~one message time (1 ms),
+        // not two.
+        assert!(report.makespan.secs() < 1.5e-3, "makespan {}", report.makespan.secs());
+    }
+
+    #[test]
+    fn failed_link_surfaces_error() {
+        let mut rt = tiny_grid(1, 2, 1);
+        rt.fail_link(0, 1);
+        let report = rt.run(|p, _| {
+            if p.rank() == 0 {
+                p.send(1, 0, 1.0f64)?;
+            } else if p.link_ok(0) {
+                // Peer 0 will fail before sending; don't wait for it.
+            }
+            Ok(())
+        });
+        assert_eq!(
+            report.ranks[0].result,
+            Err(CommError::LinkDown { src: 0, dst: 1 })
+        );
+        assert!(report.ranks[1].result.is_ok());
+    }
+
+    #[test]
+    fn out_of_order_sources_are_buffered() {
+        let rt = tiny_grid(1, 3, 1);
+        let report = rt.run(|p, _| match p.rank() {
+            0 => {
+                // Receive from 2 first even though 1's message may arrive
+                // earlier on the real channel.
+                let a: f64 = p.recv(2, 0)?;
+                let b: f64 = p.recv(1, 0)?;
+                Ok(a * 10.0 + b)
+            }
+            r => {
+                p.send(0, 0, r as f64)?;
+                Ok(0.0)
+            }
+        });
+        assert_eq!(report.ranks[0].result, Ok(21.0));
+    }
+
+    #[test]
+    fn tracing_records_every_action_with_spans() {
+        use crate::trace::EventKind;
+        let mut rt = tiny_grid(1, 2, 1);
+        rt.enable_tracing();
+        let report = rt.run(|p, _| {
+            if p.rank() == 0 {
+                p.compute(1_000_000, None);
+                p.send(1, 0, vec![1.0f64; 8])?;
+            } else {
+                let _: Vec<f64> = p.recv(0, 0)?;
+            }
+            Ok(())
+        });
+        let trace = report.trace.expect("tracing enabled");
+        let kinds: Vec<_> = trace.events.iter().map(|e| &e.kind).collect();
+        assert_eq!(trace.len(), 3, "compute + send + recv");
+        assert!(matches!(kinds[0], EventKind::Compute { flops: 1_000_000 }));
+        assert!(trace.events.iter().all(|e| e.end >= e.start));
+        // The send's span covers latency + 64 bytes of bandwidth.
+        let send = trace
+            .events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::Send { .. }))
+            .unwrap();
+        assert!((send.end - send.start).secs() >= 1e-3);
+        // Disabled by default.
+        let rt2 = tiny_grid(1, 2, 1);
+        let report2 = rt2.run(|p, _| {
+            let _ = p.rank();
+            Ok(())
+        });
+        assert!(report2.trace.is_none());
+    }
+
+    #[test]
+    fn tag_mismatch_is_detected() {
+        let rt = tiny_grid(1, 2, 1);
+        let report = rt.run(|p, _| {
+            if p.rank() == 0 {
+                p.send(1, 5, ())?;
+                Ok(())
+            } else {
+                let r: Result<(), CommError> = p.recv(0, 6);
+                match r {
+                    Err(CommError::TagMismatch { expected: 6, got: 5 }) => Ok(()),
+                    other => panic!("expected tag mismatch, got {other:?}"),
+                }
+            }
+        });
+        assert!(report.ranks.iter().all(|r| r.result.is_ok()));
+    }
+}

@@ -1,0 +1,204 @@
+//! Event tracing: a per-rank record of every send, receive and compute
+//! with its virtual-time span, plus a text timeline renderer.
+//!
+//! Tracing is how the paper's communication diagrams (Figs. 1–2) become
+//! inspectable for *any* run: enable it with
+//! [`crate::Runtime::enable_tracing`], run the program, and render the
+//! merged timeline (or feed the raw events to your own tooling).
+//! Events carry virtual timestamps, so traces are exactly reproducible.
+
+use std::fmt::Write as _;
+
+use tsqr_netsim::{LinkClass, VirtualTime};
+
+/// One traced action on a rank.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A message was sent.
+    Send {
+        /// Destination rank.
+        to: usize,
+        /// Payload size.
+        bytes: u64,
+        /// Link class it travelled on.
+        class: LinkClass,
+    },
+    /// A message was received (opened).
+    Recv {
+        /// Source rank.
+        from: usize,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// Local computation was charged.
+    Compute {
+        /// Flops charged.
+        flops: u64,
+    },
+}
+
+/// A traced event: what happened, where, and over which virtual span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// The rank the event happened on.
+    pub rank: usize,
+    /// Virtual time when the action started.
+    pub start: VirtualTime,
+    /// Virtual time when the action completed.
+    pub end: VirtualTime,
+    /// The action.
+    pub kind: EventKind,
+}
+
+/// A complete trace: every rank's events, merged and time-ordered.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// All events, sorted by `(start, rank)`.
+    pub events: Vec<Event>,
+}
+
+impl Trace {
+    pub(crate) fn from_parts(mut events: Vec<Event>) -> Self {
+        events.sort_by(|a, b| a.start.cmp(&b.start).then(a.rank.cmp(&b.rank)));
+        Trace { events }
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was traced.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events of one rank, in time order.
+    pub fn rank_events(&self, rank: usize) -> Vec<&Event> {
+        self.events.iter().filter(|e| e.rank == rank).collect()
+    }
+
+    /// Inter-cluster send events only — the WAN bill, itemized.
+    pub fn wan_sends(&self) -> Vec<&Event> {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(e.kind, EventKind::Send { class, .. } if class.is_inter_cluster())
+            })
+            .collect()
+    }
+
+    /// Renders a compact text timeline: one line per event,
+    /// `[start..end] rank action`, microsecond precision.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            let span = format!("[{:>12.6}s ..{:>12.6}s]", e.start.secs(), e.end.secs());
+            let what = match &e.kind {
+                EventKind::Send { to, bytes, class } => {
+                    let c = match class {
+                        LinkClass::IntraNode => "node",
+                        LinkClass::IntraCluster => "clus",
+                        LinkClass::InterCluster(_, _) => "WAN ",
+                    };
+                    format!("send -> {to:<4} {bytes:>10} B  [{c}]")
+                }
+                EventKind::Recv { from, bytes } => {
+                    format!("recv <- {from:<4} {bytes:>10} B")
+                }
+                EventKind::Compute { flops } => format!("compute {flops:>14} flops"),
+            };
+            let _ = writeln!(out, "{span} rank {:<4} {what}", e.rank);
+        }
+        out
+    }
+
+    /// A per-rank utilization summary: fraction of the makespan spent in
+    /// traced compute.
+    pub fn compute_utilization(&self, num_ranks: usize) -> Vec<f64> {
+        let makespan = self
+            .events
+            .iter()
+            .map(|e| e.end)
+            .max()
+            .unwrap_or(VirtualTime::ZERO)
+            .secs()
+            .max(f64::MIN_POSITIVE);
+        let mut busy = vec![0.0; num_ranks];
+        for e in &self.events {
+            if matches!(e.kind, EventKind::Compute { .. }) && e.rank < num_ranks {
+                busy[e.rank] += (e.end - e.start).secs();
+            }
+        }
+        busy.iter().map(|b| b / makespan).collect()
+    }
+}
+
+/// Per-rank event collector (crate-internal; installed by the runtime).
+#[derive(Debug, Default)]
+pub(crate) struct Recorder {
+    pub events: Vec<Event>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(rank: usize, s: f64, e: f64, kind: EventKind) -> Event {
+        Event {
+            rank,
+            start: VirtualTime::from_secs(s),
+            end: VirtualTime::from_secs(e),
+            kind,
+        }
+    }
+
+    #[test]
+    fn merge_sorts_by_time_then_rank() {
+        let t = Trace::from_parts(vec![
+            ev(1, 2.0, 3.0, EventKind::Compute { flops: 5 }),
+            ev(0, 1.0, 2.0, EventKind::Compute { flops: 1 }),
+            ev(2, 1.0, 1.5, EventKind::Compute { flops: 2 }),
+        ]);
+        let starts: Vec<(f64, usize)> =
+            t.events.iter().map(|e| (e.start.secs(), e.rank)).collect();
+        assert_eq!(starts, vec![(1.0, 0), (1.0, 2), (2.0, 1)]);
+    }
+
+    #[test]
+    fn wan_filter() {
+        let t = Trace::from_parts(vec![
+            ev(0, 0.0, 1.0, EventKind::Send { to: 1, bytes: 8, class: LinkClass::IntraNode }),
+            ev(
+                0,
+                1.0,
+                2.0,
+                EventKind::Send { to: 5, bytes: 8, class: LinkClass::InterCluster(0, 1) },
+            ),
+        ]);
+        assert_eq!(t.wan_sends().len(), 1);
+    }
+
+    #[test]
+    fn render_contains_all_lines() {
+        let t = Trace::from_parts(vec![
+            ev(0, 0.0, 0.5, EventKind::Compute { flops: 42 }),
+            ev(1, 0.5, 0.6, EventKind::Recv { from: 0, bytes: 64 }),
+        ]);
+        let text = t.render();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("compute"));
+        assert!(text.contains("recv <- 0"));
+    }
+
+    #[test]
+    fn utilization_fractions() {
+        let t = Trace::from_parts(vec![
+            ev(0, 0.0, 1.0, EventKind::Compute { flops: 1 }),
+            ev(1, 0.0, 2.0, EventKind::Compute { flops: 1 }),
+        ]);
+        let u = t.compute_utilization(2);
+        assert!((u[0] - 0.5).abs() < 1e-12);
+        assert!((u[1] - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,122 @@
+//! Cholesky factorization (`potrf`) of symmetric positive-definite
+//! matrices — the kernel behind the CholeskyQR baseline (`AᵀA = RᵀR`),
+//! which the paper's §II-E alludes to as the "unstable orthogonalization
+//! scheme" block eigensolvers fall back to, and behind the
+//! communication-optimal Cholesky the conclusion cites (\[5\]).
+
+use crate::matrix::Matrix;
+
+/// Why a Cholesky factorization failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotPositiveDefinite {
+    /// Index of the pivot that was not positive.
+    pub pivot: usize,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is not positive definite (pivot {})", self.pivot)
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+/// Upper Cholesky factor: `A = RᵀR` with `R` upper triangular and a
+/// positive diagonal.
+///
+/// Only the upper triangle of `a` is read. Fails on a non-positive pivot
+/// (the matrix is not numerically positive definite — for CholeskyQR this
+/// is exactly the condition-number cliff at `κ(A) ≳ 1/√ε`).
+pub fn potrf_upper(a: &Matrix) -> Result<Matrix, NotPositiveDefinite> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "potrf: matrix must be square");
+    let mut r = Matrix::zeros(n, n);
+    for j in 0..n {
+        // Diagonal: r_jj = sqrt(a_jj − Σ_{k<j} r_kj²)
+        let mut d = a[(j, j)];
+        for k in 0..j {
+            d -= r[(k, j)] * r[(k, j)];
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(NotPositiveDefinite { pivot: j });
+        }
+        let rjj = d.sqrt();
+        r[(j, j)] = rjj;
+        // Row j of R: r_ji = (a_ji − Σ_{k<j} r_kj·r_ki) / r_jj
+        for i in j + 1..n {
+            let mut s = a[(j, i)];
+            for k in 0..j {
+                s -= r[(k, j)] * r[(k, i)];
+            }
+            r[(j, i)] = s / rjj;
+        }
+    }
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(n: usize, seed: u64) -> Matrix {
+        // AᵀA + n·I is comfortably positive definite.
+        let a = Matrix::random_uniform(2 * n, n, seed);
+        let mut g = a.t_matmul(&a);
+        for i in 0..n {
+            g[(i, i)] += n as f64;
+        }
+        g
+    }
+
+    #[test]
+    fn factorizes_spd_matrices() {
+        for n in [1, 2, 5, 12] {
+            let g = spd(n, n as u64);
+            let r = potrf_upper(&g).unwrap();
+            let rec = r.t_matmul(&r);
+            assert!(rec.approx_eq(&g, 1e-11 * n as f64), "n={n}");
+            for i in 0..n {
+                assert!(r[(i, i)] > 0.0);
+                for j in 0..i {
+                    assert_eq!(r[(i, j)], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite_matrices() {
+        let mut g = spd(4, 9);
+        g[(2, 2)] = -5.0;
+        let err = potrf_upper(&g).unwrap_err();
+        assert!(err.pivot <= 2);
+    }
+
+    #[test]
+    fn identity_factors_to_identity() {
+        let r = potrf_upper(&Matrix::identity(6)).unwrap();
+        assert!(r.approx_eq(&Matrix::identity(6), 1e-15));
+    }
+
+    #[test]
+    fn matches_known_2x2() {
+        let g = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 5.0]]).unwrap();
+        let r = potrf_upper(&g).unwrap();
+        assert!((r[(0, 0)] - 2.0).abs() < 1e-15);
+        assert!((r[(0, 1)] - 1.0).abs() < 1e-15);
+        assert!((r[(1, 1)] - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn lower_triangle_is_ignored() {
+        let mut g = spd(5, 11);
+        for i in 0..5 {
+            for j in 0..i {
+                g[(i, j)] = 999.0; // garbage in the unused triangle
+            }
+        }
+        let r = potrf_upper(&g).unwrap();
+        let want = potrf_upper(&spd(5, 11)).unwrap();
+        assert!(r.approx_eq(&want, 0.0));
+    }
+}

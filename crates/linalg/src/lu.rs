@@ -1,0 +1,211 @@
+//! LU factorization with partial pivoting (`getrf`), row-swap application
+//! (`laswp`) and the structured kernels TSLU needs — the substrate for the
+//! paper's §VI remark that the TSQR/CAQR results "can be (trivially)
+//! extended to TSLU/CALU".
+
+use crate::matrix::Matrix;
+use crate::tri::{trsm_left, Triangle};
+
+/// An LU factorization with partial pivoting: `P·A = L·U`.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    /// Packed factors: `U` on/above the diagonal, unit-`L` multipliers
+    /// below.
+    pub factors: Matrix,
+    /// `ipiv[k] = r` means rows `k` and `r` were swapped at step `k`
+    /// (LAPACK convention, 0-based).
+    pub ipiv: Vec<usize>,
+}
+
+/// LU with partial pivoting of a copy of `a` (LAPACK `dgetrf`, unblocked).
+///
+/// Works for any `m × n`; factors the leading `min(m, n)` columns.
+pub fn getrf(a: &Matrix) -> LuFactors {
+    let mut f = a.clone();
+    let (m, n) = f.shape();
+    let k = m.min(n);
+    let mut ipiv = Vec::with_capacity(k);
+    for j in 0..k {
+        // Pivot: largest |entry| in column j, rows j..m.
+        let mut p = j;
+        let mut best = f[(j, j)].abs();
+        for i in j + 1..m {
+            let v = f[(i, j)].abs();
+            if v > best {
+                best = v;
+                p = i;
+            }
+        }
+        ipiv.push(p);
+        if p != j {
+            for c in 0..n {
+                let tmp = f[(j, c)];
+                f[(j, c)] = f[(p, c)];
+                f[(p, c)] = tmp;
+            }
+        }
+        let pivot = f[(j, j)];
+        if pivot == 0.0 {
+            continue; // singular column; multipliers stay zero
+        }
+        for i in j + 1..m {
+            let l = f[(i, j)] / pivot;
+            f[(i, j)] = l;
+            for c in j + 1..n {
+                let fjc = f[(j, c)];
+                f[(i, c)] -= l * fjc;
+            }
+        }
+    }
+    LuFactors { factors: f, ipiv }
+}
+
+impl LuFactors {
+    /// The unit-lower-triangular factor `L` (`m × min(m,n)`).
+    pub fn l(&self) -> Matrix {
+        let (m, n) = self.factors.shape();
+        let k = m.min(n);
+        Matrix::from_fn(m, k, |i, j| {
+            if i == j {
+                1.0
+            } else if i > j {
+                self.factors[(i, j)]
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// The upper-triangular factor `U` (`min(m,n) × n`).
+    pub fn u(&self) -> Matrix {
+        let (m, n) = self.factors.shape();
+        let k = m.min(n);
+        Matrix::from_fn(k, n, |i, j| if i <= j { self.factors[(i, j)] } else { 0.0 })
+    }
+
+    /// Applies the recorded row swaps to `b` (LAPACK `dlaswp`): `b := P·b`.
+    pub fn apply_p(&self, b: &mut Matrix) {
+        for (j, &p) in self.ipiv.iter().enumerate() {
+            if p != j {
+                for c in 0..b.cols() {
+                    let tmp = b[(j, c)];
+                    b[(j, c)] = b[(p, c)];
+                    b[(p, c)] = tmp;
+                }
+            }
+        }
+    }
+
+    /// The rows of `A` selected as pivots, in order — TSLU's "tournament
+    /// winners" at a leaf.
+    pub fn pivot_rows_of(&self, a: &Matrix) -> Matrix {
+        let k = self.ipiv.len();
+        // Reconstruct the permutation's first-k destination rows.
+        let mut perm: Vec<usize> = (0..a.rows()).collect();
+        for (j, &p) in self.ipiv.iter().enumerate() {
+            perm.swap(j, p);
+        }
+        Matrix::from_fn(k, a.cols(), |i, j| a[(perm[i], j)])
+    }
+
+    /// Solves `A·x = b` via `P·A = L·U` (square systems).
+    pub fn solve(&self, b: &Matrix) -> Matrix {
+        let (m, n) = self.factors.shape();
+        assert_eq!(m, n, "solve: square systems only");
+        assert_eq!(b.rows(), n, "solve: rhs row mismatch");
+        let mut x = b.clone();
+        self.apply_p(&mut x);
+        // Forward solve with unit-lower L.
+        let l = self.l();
+        for col in 0..x.cols() {
+            for i in 0..n {
+                let mut s = x[(i, col)];
+                for j in 0..i {
+                    s -= l[(i, j)] * x[(j, col)];
+                }
+                x[(i, col)] = s; // unit diagonal
+            }
+        }
+        // Back solve with U.
+        let u = self.u();
+        trsm_left(Triangle::Upper, &u.view(), &mut x.view_mut());
+        x
+    }
+
+    /// The largest |multiplier| in `L` — with partial pivoting this is
+    /// ≤ 1, the stability property tournament pivoting preserves.
+    pub fn max_multiplier(&self) -> f64 {
+        let (m, n) = self.factors.shape();
+        let mut worst = 0.0f64;
+        for j in 0..m.min(n) {
+            for i in j + 1..m {
+                worst = worst.max(self.factors[(i, j)].abs());
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_plu(a: &Matrix) {
+        let f = getrf(a);
+        let mut pa = a.clone();
+        f.apply_p(&mut pa);
+        let rec = f.l().matmul(&f.u());
+        assert!(
+            rec.approx_eq(&pa, 1e-11 * a.norm_max().max(1.0)),
+            "P·A != L·U for {}x{}",
+            a.rows(),
+            a.cols()
+        );
+        assert!(f.max_multiplier() <= 1.0 + 1e-15, "partial pivoting bound violated");
+    }
+
+    #[test]
+    fn square_tall_and_wide() {
+        check_plu(&Matrix::random_uniform(8, 8, 1));
+        check_plu(&Matrix::random_uniform(16, 5, 2));
+        check_plu(&Matrix::random_uniform(5, 12, 3));
+        check_plu(&Matrix::random_uniform(1, 1, 4));
+    }
+
+    #[test]
+    fn solve_round_trip() {
+        let a = Matrix::random_uniform(7, 7, 5);
+        let x = Matrix::random_uniform(7, 2, 6);
+        let b = a.matmul(&x);
+        let got = getrf(&a).solve(&b);
+        assert!(got.approx_eq(&x, 1e-10));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![2.0, 3.0]]).unwrap();
+        let f = getrf(&a);
+        assert_eq!(f.ipiv[0], 1, "must pivot away from the zero");
+        let x = f.solve(&Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap());
+        // 2x0 + 3x1 = 2; x1 = 1 → x0 = -1/2.
+        assert!((x[(0, 0)] + 0.5).abs() < 1e-14);
+        assert!((x[(1, 0)] - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn pivot_rows_are_the_permuted_top_rows() {
+        let a = Matrix::random_uniform(10, 3, 7);
+        let f = getrf(&a);
+        let rows = f.pivot_rows_of(&a);
+        let mut pa = a.clone();
+        f.apply_p(&mut pa);
+        assert!(rows.approx_eq(&pa.sub_matrix(0, 0, 3, 3), 0.0));
+    }
+
+    #[test]
+    fn singular_matrix_does_not_panic() {
+        let a = Matrix::zeros(4, 4);
+        let f = getrf(&a);
+        assert_eq!(f.u().norm_fro(), 0.0);
+    }
+}

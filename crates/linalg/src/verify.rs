@@ -1,0 +1,142 @@
+//! Numerical verification metrics for QR factorizations.
+//!
+//! The paper's correctness claim rests on TSQR being "numerically as stable
+//! as the Householder QR factorization" (§II-C); these metrics are what the
+//! test-suite uses to check that claim for every tree shape and engine:
+//! scaled residual `‖A − QR‖_F / ‖A‖_F`, orthogonality
+//! `‖QᵀQ − I‖_F / √n`, and sign normalization so R factors produced by
+//! different reduction orders can be compared entry-wise.
+
+use crate::matrix::Matrix;
+
+/// Scaled residual `‖A − Q·R‖_F / ‖A‖_F` (or the absolute residual when
+/// `A = 0`).
+pub fn relative_residual(a: &Matrix, q: &Matrix, r: &Matrix) -> f64 {
+    let qr = q.matmul(r);
+    let num = a.sub_elem(&qr).norm_fro();
+    let den = a.norm_fro();
+    if den == 0.0 {
+        num
+    } else {
+        num / den
+    }
+}
+
+/// Deviation from orthonormal columns: `‖QᵀQ − I‖_F / √n`.
+pub fn orthogonality(q: &Matrix) -> f64 {
+    let n = q.cols();
+    if n == 0 {
+        return 0.0;
+    }
+    let gram = q.t_matmul(q);
+    gram.sub_elem(&Matrix::identity(n)).norm_fro() / (n as f64).sqrt()
+}
+
+/// Rescales the rows of an upper-triangular `R` so every diagonal entry is
+/// non-negative.
+///
+/// The QR factorization is unique only up to the signs of R's rows (§II-B);
+/// two valid factorizations of the same matrix agree after this
+/// normalization, which is also the convention that makes the TSQR combine
+/// operator commutative (§II-C).
+pub fn sign_normalize_r(r: &Matrix) -> Matrix {
+    let mut out = r.clone();
+    let k = r.rows().min(r.cols());
+    for i in 0..k {
+        if out[(i, i)] < 0.0 {
+            for j in 0..r.cols() {
+                out[(i, j)] = -out[(i, j)];
+            }
+        }
+    }
+    out
+}
+
+/// `‖R1 − R2‖_max` after sign normalization — the comparison used to check
+/// that two reduction trees computed "the same" R factor.
+pub fn r_distance(r1: &Matrix, r2: &Matrix) -> f64 {
+    assert_eq!(r1.shape(), r2.shape(), "r_distance: shape mismatch");
+    sign_normalize_r(r1).sub_elem(&sign_normalize_r(r2)).norm_max()
+}
+
+/// True when the strict lower triangle of `r` is exactly zero.
+pub fn is_upper_triangular(r: &Matrix) -> bool {
+    for j in 0..r.cols() {
+        for i in j + 1..r.rows() {
+            if r[(i, j)] != 0.0 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qr::QrFactors;
+
+    #[test]
+    fn residual_zero_for_exact_factorization() {
+        let q = Matrix::identity(4);
+        let r = Matrix::random_uniform(4, 4, 1).upper_triangular_padded();
+        let a = q.matmul(&r);
+        assert!(relative_residual(&a, &q, &r) < 1e-15);
+    }
+
+    #[test]
+    fn residual_positive_for_wrong_factors() {
+        let a = Matrix::random_uniform(5, 3, 2);
+        let q = Matrix::identity(5).sub_matrix(0, 0, 5, 3);
+        let r = Matrix::identity(3);
+        assert!(relative_residual(&a, &q, &r) > 0.1);
+    }
+
+    #[test]
+    fn orthogonality_of_identity_and_rotation() {
+        assert!(orthogonality(&Matrix::identity(6)) < 1e-15);
+        let c = 0.6_f64;
+        let s = 0.8_f64;
+        let rot = Matrix::from_rows(&[vec![c, -s], vec![s, c]]).unwrap();
+        assert!(orthogonality(&rot) < 1e-15);
+        let skew = Matrix::from_rows(&[vec![1.0, 1.0], vec![0.0, 1.0]]).unwrap();
+        assert!(orthogonality(&skew) > 0.1);
+    }
+
+    #[test]
+    fn sign_normalize_flips_negative_rows() {
+        let r = Matrix::from_rows(&[vec![-2.0, 1.0], vec![0.0, 3.0]]).unwrap();
+        let n = sign_normalize_r(&r);
+        assert_eq!(n[(0, 0)], 2.0);
+        assert_eq!(n[(0, 1)], -1.0);
+        assert_eq!(n[(1, 1)], 3.0);
+    }
+
+    #[test]
+    fn sign_normalize_is_idempotent() {
+        let r = Matrix::random_uniform(4, 4, 3).upper_triangular_padded();
+        let n1 = sign_normalize_r(&r);
+        let n2 = sign_normalize_r(&n1);
+        assert!(n1.approx_eq(&n2, 0.0));
+    }
+
+    #[test]
+    fn r_distance_detects_same_factorization_with_flipped_signs() {
+        let a = Matrix::random_uniform(10, 4, 4);
+        let f = QrFactors::compute(&a, 2);
+        let r = f.r();
+        let mut flipped = r.clone();
+        for j in 0..4 {
+            flipped[(1, j)] = -flipped[(1, j)];
+        }
+        assert!(r_distance(&r, &flipped) < 1e-15);
+    }
+
+    #[test]
+    fn is_upper_triangular_checks() {
+        assert!(is_upper_triangular(&Matrix::identity(3)));
+        let mut m = Matrix::identity(3);
+        m[(2, 0)] = 1e-30;
+        assert!(!is_upper_triangular(&m));
+    }
+}

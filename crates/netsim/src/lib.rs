@@ -1,0 +1,29 @@
+//! Simulated grid substrate: topology, link classification, and the
+//! communication/computation cost model of the paper's Eq. (1).
+//!
+//! The paper evaluates on Grid'5000 — four clusters (Bordeaux, Orsay,
+//! Toulouse, Sophia) of 32 dual-processor nodes each, Gigabit Ethernet
+//! inside a cluster and dedicated dark fiber between sites. We reproduce
+//! that environment as data: a [`topology::GridTopology`] places every
+//! process on a `(cluster, node, slot)` coordinate, and a
+//! [`cost::CostModel`] prices every message with
+//! `time = β + bytes·α` where `(β, α)` depend on the link class
+//! (intra-node / intra-cluster / inter-cluster site pair), plus
+//! `flops·γ` for local computation. The constants of the
+//! [`grid5000`] preset are the measured values of the paper's Fig. 3(a)
+//! and §V-A/§V-B.
+//!
+//! Virtual time ([`time::VirtualTime`]) is a plain `f64` of seconds carried
+//! on every simulated message by the `tsqr-gridmpi` runtime; nothing in this
+//! crate depends on wall-clock time, which is what makes the simulation
+//! deterministic.
+
+pub mod cost;
+pub mod desktop;
+pub mod grid5000;
+pub mod time;
+pub mod topology;
+
+pub use cost::{CostModel, LinkClass, LinkParams};
+pub use time::VirtualTime;
+pub use topology::{ClusterSpec, GridTopology, ProcLocation};

@@ -1,0 +1,118 @@
+//! Property-based tests of the cost model and topology.
+
+use proptest::prelude::*;
+
+use tsqr_netsim::{grid5000, CostModel, GridTopology, LinkClass, LinkParams, ProcLocation};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Transfer time is monotone in bytes and bounded below by latency.
+    #[test]
+    fn transfer_monotone(
+        lat_ms in 0.001f64..20.0,
+        mbps in 1.0f64..10_000.0,
+        bytes in 0u64..10_000_000,
+        extra in 1u64..1_000_000,
+    ) {
+        let p = LinkParams::from_ms_mbps(lat_ms, mbps);
+        let t1 = p.transfer_time(bytes);
+        let t2 = p.transfer_time(bytes + extra);
+        prop_assert!(t2 > t1);
+        prop_assert!(t1.secs() >= lat_ms * 1e-3);
+    }
+
+    /// Link classification is symmetric and consistent with the bucket.
+    #[test]
+    fn classification_symmetric(
+        c1 in 0usize..4, n1 in 0usize..32, s1 in 0usize..2,
+        c2 in 0usize..4, n2 in 0usize..32, s2 in 0usize..2,
+    ) {
+        let a = ProcLocation { cluster: c1, node: n1, slot: s1 };
+        let b = ProcLocation { cluster: c2, node: n2, slot: s2 };
+        let ab = LinkClass::between(a, b);
+        prop_assert_eq!(ab, LinkClass::between(b, a));
+        prop_assert_eq!(ab.is_inter_cluster(), c1 != c2);
+        let expected_bucket = if c1 != c2 { 2 } else if n1 != n2 { 1 } else { 0 };
+        prop_assert_eq!(ab.bucket(), expected_bucket);
+    }
+
+    /// On the Grid'5000 model the link hierarchy holds for every pair of
+    /// placements: intra-node <= intra-cluster <= inter-cluster, for any
+    /// message size.
+    #[test]
+    fn grid5000_hierarchy(bytes in 0u64..50_000_000) {
+        let m = grid5000::cost_model();
+        let node = ProcLocation { cluster: 0, node: 0, slot: 0 };
+        let same_node = ProcLocation { cluster: 0, node: 0, slot: 1 };
+        let same_cluster = ProcLocation { cluster: 0, node: 9, slot: 0 };
+        for other_cluster in 1..4 {
+            let wan = ProcLocation { cluster: other_cluster, node: 0, slot: 0 };
+            let t0 = m.message_time(node, same_node, bytes);
+            let t1 = m.message_time(node, same_cluster, bytes);
+            let t2 = m.message_time(node, wan, bytes);
+            prop_assert!(t0 <= t1 && t1 <= t2, "bytes={} cluster={}", bytes, other_cluster);
+        }
+    }
+
+    /// The WAN surcharge adds exactly once per inter-cluster message and
+    /// never to local ones.
+    #[test]
+    fn wan_overhead_additivity(
+        over_ms in 0.0f64..50.0,
+        bytes in 0u64..1_000_000,
+    ) {
+        let base = grid5000::cost_model();
+        let with = base.clone().with_wan_overhead(over_ms * 1e-3);
+        let a = ProcLocation { cluster: 0, node: 0, slot: 0 };
+        let local = ProcLocation { cluster: 0, node: 3, slot: 0 };
+        let remote = ProcLocation { cluster: 2, node: 0, slot: 0 };
+        prop_assert_eq!(base.message_time(a, local, bytes), with.message_time(a, local, bytes));
+        let diff = with.message_time(a, remote, bytes) - base.message_time(a, remote, bytes);
+        prop_assert!((diff.secs() - over_ms * 1e-3).abs() < 1e-12);
+    }
+
+    /// Block placement invariants: contiguous clusters, dense nodes/slots,
+    /// shuffling preserves the multiset of coordinates.
+    #[test]
+    fn placement_invariants(
+        clusters in 1usize..5,
+        nodes in 1usize..8,
+        ppn in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        let specs = (0..clusters)
+            .map(|i| tsqr_netsim::ClusterSpec {
+                name: format!("c{i}"),
+                nodes,
+                procs_per_node: ppn,
+                peak_gflops_per_proc: 8.0,
+            })
+            .collect();
+        let topo = GridTopology::block_placement(specs, nodes, ppn);
+        prop_assert_eq!(topo.num_procs(), clusters * nodes * ppn);
+        // Ranks within a cluster are contiguous.
+        for c in 0..clusters {
+            let ranks = topo.ranks_in_cluster(c);
+            prop_assert_eq!(ranks.len(), nodes * ppn);
+            prop_assert!(ranks.windows(2).all(|w| w[1] == w[0] + 1));
+        }
+        let shuffled = topo.shuffled(seed);
+        let key = |p: &ProcLocation| (p.cluster, p.node, p.slot);
+        let mut a: Vec<_> = topo.placement.iter().map(key).collect();
+        let mut b: Vec<_> = shuffled.placement.iter().map(key).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// compute_time is linear in flops and inverse in rate.
+    #[test]
+    fn compute_time_scaling(flops in 1u64..1_000_000_000, rate in 1e6f64..1e12) {
+        let m = CostModel::homogeneous(LinkParams::from_ms_mbps(1.0, 100.0), rate, 1);
+        let t = m.compute_time(flops, None).secs();
+        prop_assert!((t - flops as f64 / rate).abs() < 1e-12 * t.max(1.0));
+        let t2 = m.compute_time(flops, Some(rate * 2.0)).secs();
+        prop_assert!((t2 * 2.0 - t).abs() < 1e-9 * t.max(1.0));
+    }
+}

@@ -1,0 +1,292 @@
+//! The meta-scheduler: matches a [`JobProfile`] against a
+//! [`ResourceCatalog`] and produces a concrete allocation.
+
+use std::fmt;
+
+use tsqr_netsim::{CostModel, GridTopology};
+
+use crate::catalog::ResourceCatalog;
+use crate::profile::JobProfile;
+
+/// Why an allocation request could not be satisfied.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    /// Fewer clusters satisfy the intra-group requirement than groups
+    /// requested.
+    NotEnoughClusters {
+        /// Groups the profile asked for.
+        requested: usize,
+        /// Clusters that qualified.
+        available: usize,
+    },
+    /// A qualifying cluster cannot host `procs_per_group` processes.
+    NotEnoughProcs {
+        /// The cluster that fell short.
+        cluster: String,
+        /// Processes it can host.
+        capacity: usize,
+        /// Processes the profile needs per group.
+        needed: usize,
+    },
+    /// The network between two chosen clusters violates the inter-group
+    /// requirement.
+    InterGroupNetworkTooWeak {
+        /// First cluster name.
+        a: String,
+        /// Second cluster name.
+        b: String,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::NotEnoughClusters { requested, available } => write!(
+                f,
+                "profile requests {requested} groups but only {available} clusters qualify"
+            ),
+            ScheduleError::NotEnoughProcs { cluster, capacity, needed } => write!(
+                f,
+                "cluster {cluster} can host {capacity} processes, {needed} needed per group"
+            ),
+            ScheduleError::InterGroupNetworkTooWeak { a, b } => {
+                write!(f, "link {a} <-> {b} violates the inter-group requirement")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A concrete allocation: placement, per-rank group identifiers, and the
+/// effective synchronous compute rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    /// The placed topology (ranks dense within each group's cluster).
+    pub topology: GridTopology,
+    /// The network pricing the allocation runs under.
+    pub network: CostModel,
+    /// `group_of[rank]` — the group identifier QCG-OMPI exposes through its
+    /// MPI attribute (§III); feed it to `Communicator::split_by`.
+    pub group_of: Vec<usize>,
+    /// Catalog indices of the clusters hosting each group.
+    pub cluster_of_group: Vec<usize>,
+    /// Processes booked per node (may be less than the node's sockets when
+    /// power balancing demands it, §III).
+    pub procs_per_node_used: usize,
+    /// The per-process flop rate every group is throttled to — the slowest
+    /// member's peak (§V-A's "efficiency of the slowest component").
+    pub effective_gflops_per_proc: f64,
+}
+
+impl Allocation {
+    /// Ranks belonging to group `g`, in rank order.
+    pub fn group_members(&self, g: usize) -> Vec<usize> {
+        (0..self.group_of.len()).filter(|&r| self.group_of[r] == g).collect()
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.cluster_of_group.len()
+    }
+}
+
+/// Allocates resources for `profile` from `catalog`.
+///
+/// Strategy (mirrors §III): pick the `groups` qualifying clusters with the
+/// most capacity, verify pairwise inter-group links, book
+/// `procs_per_group` processes on each using as few nodes as possible, and
+/// throttle every process to the slowest selected cluster's peak when the
+/// spread exceeds the profile's tolerance.
+pub fn allocate(catalog: &ResourceCatalog, profile: &JobProfile) -> Result<Allocation, ScheduleError> {
+    assert!(profile.groups > 0 && profile.procs_per_group > 0, "empty profile");
+    // 1. Which clusters qualify for hosting a group? The intra-group
+    //    network requirement must hold on the cluster interconnect.
+    let intra = catalog.network.intra_cluster;
+    let qualifying: Vec<usize> = (0..catalog.clusters.len())
+        .filter(|_| profile.intra_group.satisfied_by(intra.latency_s, intra.bandwidth_bps))
+        .collect();
+    if qualifying.len() < profile.groups {
+        return Err(ScheduleError::NotEnoughClusters {
+            requested: profile.groups,
+            available: qualifying.len(),
+        });
+    }
+    // 2. Prefer clusters with the most processors (stable order on ties).
+    let mut ranked = qualifying;
+    ranked.sort_by_key(|&c| {
+        let spec = &catalog.clusters[c];
+        (std::cmp::Reverse(spec.nodes * spec.procs_per_node), c)
+    });
+    let chosen: Vec<usize> = ranked.into_iter().take(profile.groups).collect();
+
+    // 3. Capacity check per chosen cluster.
+    for &c in &chosen {
+        let spec = &catalog.clusters[c];
+        let capacity = spec.nodes * spec.procs_per_node;
+        if capacity < profile.procs_per_group {
+            return Err(ScheduleError::NotEnoughProcs {
+                cluster: spec.name.clone(),
+                capacity,
+                needed: profile.procs_per_group,
+            });
+        }
+    }
+
+    // 4. Pairwise inter-group network check.
+    for (i, &a) in chosen.iter().enumerate() {
+        for &b in &chosen[i + 1..] {
+            let link = catalog.network.inter_cluster[a][b];
+            if !profile.inter_group.satisfied_by(link.latency_s, link.bandwidth_bps) {
+                return Err(ScheduleError::InterGroupNetworkTooWeak {
+                    a: catalog.clusters[a].name.clone(),
+                    b: catalog.clusters[b].name.clone(),
+                });
+            }
+        }
+    }
+
+    // 5. Book processes: use every socket of a node unless the group does
+    //    not divide evenly, in which case book fewer processes per node
+    //    (the paper booked half the cores of some machines, §III).
+    let sockets = chosen
+        .iter()
+        .map(|&c| catalog.clusters[c].procs_per_node)
+        .min()
+        .expect("at least one cluster chosen");
+    let procs_per_node_used = (1..=sockets)
+        .rev()
+        .find(|&ppn| profile.procs_per_group.is_multiple_of(ppn))
+        .expect("ppn = 1 always divides");
+    let nodes_per_group = profile.procs_per_group / procs_per_node_used;
+    // Partial-node booking reduces the usable capacity: an odd group size
+    // books one process per node, so the node count itself can run out
+    // even when raw socket capacity sufficed.
+    for &c in &chosen {
+        let spec = &catalog.clusters[c];
+        if nodes_per_group > spec.nodes {
+            return Err(ScheduleError::NotEnoughProcs {
+                cluster: spec.name.clone(),
+                capacity: spec.nodes * procs_per_node_used,
+                needed: profile.procs_per_group,
+            });
+        }
+    }
+
+    // 6. Effective synchronous rate: throttle to the slowest cluster when
+    //    the peak spread exceeds the tolerance (§V-A).
+    let peaks: Vec<f64> =
+        chosen.iter().map(|&c| catalog.clusters[c].peak_gflops_per_proc).collect();
+    // Synchronous algorithms run at the slowest member's rate regardless
+    // of the tolerance; the tolerance only gates whether the allocation is
+    // *accepted* as "equivalent computing power" in spirit. Grid'5000's
+    // 8.0–10.4 spread sits inside the default 35% tolerance.
+    let min_peak = peaks.iter().copied().fold(f64::INFINITY, f64::min);
+    let max_peak = peaks.iter().copied().fold(0.0, f64::max);
+    debug_assert!(max_peak.is_finite());
+    let effective = min_peak;
+
+    // 7. Build the placed topology: one contiguous rank range per group.
+    let specs = chosen.iter().map(|&c| catalog.clusters[c].clone()).collect();
+    let topology = GridTopology::block_placement(specs, nodes_per_group, procs_per_node_used);
+    let group_of: Vec<usize> = (0..topology.num_procs())
+        .map(|r| topology.cluster_of(r))
+        .collect();
+
+    Ok(Allocation {
+        topology,
+        network: catalog.network.clone(),
+        group_of,
+        cluster_of_group: chosen,
+        procs_per_node_used,
+        effective_gflops_per_proc: effective,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::NetworkRequirement;
+
+    fn g5k() -> ResourceCatalog {
+        ResourceCatalog::grid5000()
+    }
+
+    #[test]
+    fn paper_experiment_allocation_four_sites() {
+        let alloc = allocate(&g5k(), &JobProfile::cluster_of_clusters(4, 64)).unwrap();
+        assert_eq!(alloc.num_groups(), 4);
+        assert_eq!(alloc.topology.num_procs(), 256);
+        assert_eq!(alloc.procs_per_node_used, 2);
+        // Synchronous rate = slowest site (Orsay, 8.0 Gflop/s peak).
+        assert_eq!(alloc.effective_gflops_per_proc, 8.0);
+        // Groups are contiguous rank ranges of 64.
+        for g in 0..4 {
+            let members = alloc.group_members(g);
+            assert_eq!(members.len(), 64);
+            assert_eq!(members[0], g * 64);
+        }
+    }
+
+    #[test]
+    fn one_and_two_site_allocations() {
+        for sites in [1, 2] {
+            let alloc = allocate(&g5k(), &JobProfile::cluster_of_clusters(sites, 64)).unwrap();
+            assert_eq!(alloc.topology.num_procs(), sites * 64);
+            assert_eq!(alloc.num_groups(), sites);
+        }
+    }
+
+    #[test]
+    fn odd_group_size_books_partial_nodes() {
+        // 31 processes per group cannot use both sockets evenly → 1 proc
+        // per node on 31 nodes (the "half the cores" situation of §III).
+        let alloc = allocate(&g5k(), &JobProfile::cluster_of_clusters(2, 31)).unwrap();
+        assert_eq!(alloc.procs_per_node_used, 1);
+        assert_eq!(alloc.topology.num_procs(), 62);
+    }
+
+    #[test]
+    fn too_many_groups_is_rejected() {
+        let err = allocate(&g5k(), &JobProfile::cluster_of_clusters(5, 8)).unwrap_err();
+        assert_eq!(err, ScheduleError::NotEnoughClusters { requested: 5, available: 4 });
+    }
+
+    #[test]
+    fn oversubscription_is_rejected() {
+        // Sophia has 56 nodes = 112 procs; ask for 4 groups of 200.
+        let err = allocate(&g5k(), &JobProfile::cluster_of_clusters(4, 200)).unwrap_err();
+        match err {
+            ScheduleError::NotEnoughProcs { needed: 200, .. } => {}
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inter_group_requirement_can_reject_wan() {
+        let mut profile = JobProfile::cluster_of_clusters(2, 8);
+        // Demand cluster-quality links *between* groups: impossible on the
+        // WAN.
+        profile.inter_group = NetworkRequirement::from_ms_mbps(1.0, 500.0);
+        let err = allocate(&g5k(), &profile).unwrap_err();
+        match err {
+            ScheduleError::InterGroupNetworkTooWeak { .. } => {}
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn group_ids_match_clusters() {
+        let alloc = allocate(&g5k(), &JobProfile::cluster_of_clusters(3, 16)).unwrap();
+        for r in 0..alloc.topology.num_procs() {
+            assert_eq!(alloc.group_of[r], alloc.topology.cluster_of(r));
+        }
+    }
+
+    #[test]
+    fn prefers_biggest_clusters() {
+        // For a single group the scheduler should pick Orsay (312 nodes).
+        let alloc = allocate(&g5k(), &JobProfile::cluster_of_clusters(1, 64)).unwrap();
+        assert_eq!(alloc.cluster_of_group, vec![0]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests of the meta-scheduler: every successful
+//! allocation satisfies the profile it was built from.
+
+use proptest::prelude::*;
+
+use tsqr_netsim::LinkClass;
+use tsqr_qcg::{allocate, JobProfile, NetworkRequirement, ResourceCatalog};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Allocations honour group counts, sizes, intra-group network
+    /// quality, and the synchronous-rate convention.
+    #[test]
+    fn allocations_satisfy_their_profile(
+        groups in 1usize..5,
+        procs_per_group in 1usize..113,
+    ) {
+        let catalog = ResourceCatalog::grid5000();
+        let profile = JobProfile::cluster_of_clusters(groups, procs_per_group);
+        match allocate(&catalog, &profile) {
+            Ok(alloc) => {
+                prop_assert_eq!(alloc.num_groups(), groups);
+                prop_assert_eq!(alloc.topology.num_procs(), groups * procs_per_group);
+                // Every group is one cluster, contiguous, right-sized.
+                for g in 0..groups {
+                    let members = alloc.group_members(g);
+                    prop_assert_eq!(members.len(), procs_per_group);
+                    let clusters: Vec<usize> =
+                        members.iter().map(|&r| alloc.topology.cluster_of(r)).collect();
+                    prop_assert!(clusters.iter().all(|&c| c == clusters[0]));
+                    // Intra-group links are never wide-area.
+                    for w in members.windows(2) {
+                        let class = LinkClass::between(
+                            alloc.topology.location(w[0]),
+                            alloc.topology.location(w[1]),
+                        );
+                        prop_assert!(!class.is_inter_cluster());
+                    }
+                }
+                // Distinct groups live on distinct clusters.
+                let mut hosts = alloc.cluster_of_group.clone();
+                hosts.sort_unstable();
+                hosts.dedup();
+                prop_assert_eq!(hosts.len(), groups);
+                // Synchronous rate = the slowest selected cluster's peak.
+                let min_peak = alloc
+                    .cluster_of_group
+                    .iter()
+                    .map(|&c| catalog.clusters[c].peak_gflops_per_proc)
+                    .fold(f64::INFINITY, f64::min);
+                prop_assert_eq!(alloc.effective_gflops_per_proc, min_peak);
+                // Partial-node booking arithmetic holds.
+                prop_assert_eq!(procs_per_group % alloc.procs_per_node_used, 0);
+            }
+            Err(_) => {
+                // Rejection must be justified: either too many groups, or
+                // the g-th biggest cluster cannot host the group under the
+                // even-booking rule (odd sizes book one process per node).
+                let too_many = groups > catalog.clusters.len();
+                let justified = too_many || {
+                    let mut caps: Vec<usize> = catalog
+                        .clusters
+                        .iter()
+                        .map(|c| {
+                            if procs_per_group % 2 == 0 {
+                                c.nodes * c.procs_per_node
+                            } else {
+                                c.nodes
+                            }
+                        })
+                        .collect();
+                    caps.sort_unstable_by(|a, b| b.cmp(a));
+                    procs_per_group > caps[groups - 1]
+                };
+                prop_assert!(
+                    justified,
+                    "rejected a plausible profile: {groups} x {procs_per_group}"
+                );
+            }
+        }
+    }
+
+    /// Impossible inter-group requirements are always rejected; trivial
+    /// ones never are (for feasible sizes).
+    #[test]
+    fn inter_group_requirement_is_enforced(groups in 2usize..5, procs in 1usize..56) {
+        let catalog = ResourceCatalog::grid5000();
+        let mut profile = JobProfile::cluster_of_clusters(groups, procs);
+        profile.inter_group = NetworkRequirement::from_ms_mbps(0.5, 800.0); // LAN-only
+        prop_assert!(allocate(&catalog, &profile).is_err());
+        profile.inter_group = NetworkRequirement::any();
+        if groups <= 4 {
+            prop_assert!(allocate(&catalog, &profile).is_ok());
+        }
+    }
+}

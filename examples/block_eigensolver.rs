@@ -1,0 +1,134 @@
+//! Block eigensolving with TSQR orthonormalization — the motivating
+//! application of the paper's §II-E: "block-iterative methods need to
+//! regularly perform this operation in order to obtain an orthogonal basis
+//! for a set of vectors; this step is of particular importance for block
+//! eigensolvers (BLOPEX, SLEPc, PRIMME). Currently these packages rely on
+//! unstable orthogonalization schemes to avoid too many communications.
+//! TSQR is a stable algorithm that enables the same total number of
+//! messages."
+//!
+//! This example drives the library's distributed block subspace iteration
+//! (`tsqr_core::eigsolve`) on a simulated two-site grid — every sweep
+//! re-orthonormalizes the block with an explicit-Q TSQR over the tuned
+//! tree — and contrasts it with the notoriously unstable normalize-only
+//! scheme, whose basis collapses.
+//!
+//! Run: `cargo run --release --example block_eigensolver`
+
+use grid_tsqr::core::domains::DomainLayout;
+use grid_tsqr::core::eigsolve::{
+    eigsolve_rank_program, DenseOperator, EigsolveConfig, EigsolveRankOutput,
+};
+use grid_tsqr::core::tree::{ReductionTree, TreeShape};
+use grid_tsqr::gridmpi::Runtime;
+use grid_tsqr::linalg::verify::orthogonality;
+use grid_tsqr::linalg::Matrix;
+use grid_tsqr::netsim::{ClusterSpec, CostModel, GridTopology, LinkParams};
+
+/// A symmetric test matrix with a well-separated dominant spectrum: the
+/// top four eigenvalues sit near 2m, 1.5m, 1.2m and m, the rest below m/4.
+fn test_matrix(m: usize) -> Matrix {
+    let s = Matrix::random_uniform(m, m, 7);
+    let diag = |i: usize| -> f64 {
+        let mf = m as f64;
+        match i {
+            0 => 2.0 * mf,
+            1 => 1.5 * mf,
+            2 => 1.2 * mf,
+            3 => mf,
+            _ => 0.25 * mf * (m - i) as f64 / m as f64,
+        }
+    };
+    Matrix::from_fn(m, m, |i, j| {
+        let sym = 0.05 * (s[(i, j)] + s[(j, i)]);
+        if i == j {
+            diag(i) + sym
+        } else {
+            sym
+        }
+    })
+}
+
+/// The "cheap" scheme some packages fall back to: scale each column to
+/// unit norm, no reorthogonalization.
+fn normalize_only(x: &Matrix) -> Matrix {
+    let mut out = x.clone();
+    for j in 0..out.cols() {
+        let norm = grid_tsqr::linalg::blas::nrm2(out.col(j));
+        if norm > 0.0 {
+            grid_tsqr::linalg::blas::scal(1.0 / norm, out.col_mut(j));
+        }
+    }
+    out
+}
+
+fn main() {
+    let (m, k, sweeps) = (512usize, 4usize, 30usize);
+    let a = test_matrix(m);
+    let op = DenseOperator { a: a.clone() };
+
+    // Two clusters of four single-socket nodes, WAN between them.
+    let specs = (0..2)
+        .map(|i| ClusterSpec {
+            name: format!("c{i}"),
+            nodes: 4,
+            procs_per_node: 1,
+            peak_gflops_per_proc: 8.0,
+        })
+        .collect();
+    let topo = GridTopology::block_placement(specs, 4, 1);
+    let mut model = CostModel::homogeneous(LinkParams::from_ms_mbps(0.07, 890.0), 3.67e9, 2);
+    model.inter_cluster[0][1] = LinkParams::from_ms_mbps(8.0, 80.0);
+    model.inter_cluster[1][0] = LinkParams::from_ms_mbps(8.0, 80.0);
+    let rt = Runtime::new(topo, model);
+
+    // Distributed subspace iteration through the library API.
+    let layout = DomainLayout::build(rt.topology(), m as u64, k, 4);
+    let tree = ReductionTree::build(TreeShape::GridHierarchical, 8, &layout.clusters());
+    let cfg = EigsolveConfig {
+        k,
+        sweeps,
+        domains_per_cluster: 4,
+        shape: TreeShape::GridHierarchical,
+        seed: 3,
+    };
+    let report = rt.run(|p, world| eigsolve_rank_program(p, world, &layout, &tree, &op, &cfg));
+    let wan_total = report.totals.inter_cluster_msgs();
+    let outs: Vec<EigsolveRankOutput> =
+        report.ranks.into_iter().map(|r| r.result.expect("rank ok")).collect();
+    let mut blocks: Vec<(u64, Matrix)> =
+        outs.iter().map(|o| (o.row0, o.x_block.clone())).collect();
+    blocks.sort_by_key(|(r0, _)| *r0);
+    let refs: Vec<&Matrix> = blocks.iter().map(|(_, b)| b).collect();
+    let q = Matrix::vstack_all(&refs);
+    let ritz = &outs[0].ritz_values;
+
+    println!("TSQR-orthonormalized subspace iteration ({sweeps} sweeps):");
+    println!("  Ritz values: {ritz:.2?}");
+    let expected = [2.0 * m as f64, 1.5 * m as f64, 1.2 * m as f64, m as f64];
+    println!("  expected (dominant diagonal): ~{expected:.0?}");
+    println!("  basis orthogonality ||QᵀQ - I|| = {:.2e}", orthogonality(&q));
+    println!(
+        "  WAN messages per sweep: ~{} (allgather + TSQR up/down)",
+        wan_total / (sweeps as u64 + 2)
+    );
+    for (i, &e) in ritz.iter().enumerate() {
+        let want = expected[i];
+        assert!((e - want).abs() / want < 0.02, "ritz value {i}: {e} vs {want}");
+    }
+    assert!(orthogonality(&q) < 1e-12);
+
+    // The unstable alternative: columns collapse onto the dominant
+    // eigenvector and the basis stops being a basis.
+    let mut x = Matrix::random_uniform(m, k, 3);
+    for _ in 0..sweeps {
+        x = normalize_only(&a.matmul(&x));
+    }
+    println!("normalize-only scheme after {sweeps} sweeps:");
+    println!("  basis orthogonality ||XᵀX - I|| = {:.2e} (collapsed)", orthogonality(&x));
+    assert!(
+        orthogonality(&x) > 0.1,
+        "the unstable scheme should visibly lose orthogonality"
+    );
+    println!("OK: TSQR keeps the block orthogonal; the cheap scheme does not.");
+}

@@ -1,0 +1,236 @@
+//! `grid-tsqr` — command-line front end for the simulated grid.
+//!
+//! ```text
+//! grid-tsqr info
+//! grid-tsqr tsqr      --m 1048576 --n 64  [--sites 4] [--domains 64]
+//!                     [--tree grid|binary|flat] [--real] [--q]
+//! grid-tsqr scalapack --m 1048576 --n 64  [--sites 4] [--real] [--blocked]
+//! grid-tsqr compare   --m 1048576 --n 64  [--sites 4]
+//! ```
+//!
+//! By default experiments run symbolically (paper scale in milliseconds)
+//! at the calibrated kernel rates; `--real` switches to real numerics and
+//! verifies the R factor against a single-process reference.
+
+use std::process::ExitCode;
+
+use grid_tsqr::core::experiment::{run_experiment, Algorithm, Experiment, Mode};
+use grid_tsqr::core::tree::TreeShape;
+use grid_tsqr::core::workload;
+use grid_tsqr::gridmpi::Runtime;
+use grid_tsqr::linalg::prelude::QrFactors;
+use grid_tsqr::linalg::verify::r_distance;
+use tsqr_bench::{calib, grid_runtime};
+
+struct Args {
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut flags = Vec::new();
+        let mut it = raw.iter().peekable();
+        while let Some(a) = it.next() {
+            let Some(name) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument {a:?}"));
+            };
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => Some(it.next().unwrap().clone()),
+                _ => None,
+            };
+            flags.push((name.to_string(), value));
+        }
+        Ok(Args { flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse {v:?}")),
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprint!(
+        "grid-tsqr: TSQR / ScaLAPACK QR on a simulated computational grid\n\
+         \n\
+         USAGE:\n\
+         \x20 grid-tsqr info\n\
+         \x20 grid-tsqr tsqr      --m <rows> --n <cols> [--sites 1..4] [--domains <d/cluster>]\n\
+         \x20                     [--tree grid|binary|flat] [--real] [--q] [--seed <u64>]\n\
+         \x20 grid-tsqr scalapack --m <rows> --n <cols> [--sites 1..4] [--real] [--blocked]\n\
+         \x20 grid-tsqr compare   --m <rows> --n <cols> [--sites 1..4]\n\
+         \n\
+         Symbolic runs (default) execute the full distributed schedule with\n\
+         model-priced virtual time; --real moves actual matrices and checks R.\n"
+    );
+    ExitCode::from(2)
+}
+
+fn run() -> Result<String, String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = raw.split_first() else {
+        return Err("missing command".into());
+    };
+    let args = Args::parse(rest)?;
+
+    if cmd == "info" {
+        let catalog = grid_tsqr::qcg::ResourceCatalog::grid5000();
+        let mut out = String::from("Grid'5000 catalog (paper §V-A):\n");
+        for c in &catalog.clusters {
+            out.push_str(&format!(
+                "  {:<10} {:>4} nodes x {} procs, {:>5.1} Gflop/s peak/proc\n",
+                c.name, c.nodes, c.procs_per_node, c.peak_gflops_per_proc
+            ));
+        }
+        out.push_str(&format!(
+            "experiment platform: 32 nodes x 2 procs per site; DGEMM {} Gflop/s/proc\n",
+            grid_tsqr::netsim::grid5000::DGEMM_GFLOPS
+        ));
+        return Ok(out);
+    }
+
+    let m: u64 = args.num("m", 1u64 << 20)?;
+    let n: usize = args.num("n", 64usize)?;
+    let sites: usize = args.num("sites", 4usize)?;
+    let seed: u64 = args.num("seed", 42u64)?;
+    if !(1..=4).contains(&sites) {
+        return Err("--sites must be 1..=4".into());
+    }
+    let rt: Runtime = grid_runtime(sites);
+    let mode = if args.has("real") { Mode::Real { seed } } else { Mode::Symbolic };
+    let rates = |n: usize| {
+        (
+            Some(calib::kernel_rate_flops(n)),
+            Some(calib::combine_rate_flops()),
+        )
+    };
+
+    let describe = |label: &str, res: &grid_tsqr::core::experiment::ExperimentResult| {
+        format!(
+            "{label}: {:.3} s simulated, {:.1} Gflop/s, {} msgs ({} WAN), {:.1} MB moved\n",
+            res.makespan.secs(),
+            res.gflops,
+            res.totals.total_msgs(),
+            res.totals.inter_cluster_msgs(),
+            res.totals.total_bytes() as f64 / 1e6,
+        )
+    };
+
+    let verify = |res: &grid_tsqr::core::experiment::ExperimentResult| -> Result<String, String> {
+        let Some(r) = &res.r else { return Ok(String::new()) };
+        if m > 1 << 22 {
+            return Ok("  (matrix too tall to verify in-process; skipped)\n".into());
+        }
+        let reference = QrFactors::compute(&workload::full_matrix(seed, m as usize, n), 64)
+            .r()
+            .upper_triangular_padded();
+        let d = r_distance(r, &reference);
+        if d < 1e-9 {
+            Ok(format!("  R verified against single-process QR (max diff {d:.2e})\n"))
+        } else {
+            Err(format!("R mismatch: {d:.2e}"))
+        }
+    };
+
+    match cmd.as_str() {
+        "tsqr" => {
+            let domains: usize = args.num("domains", 64usize)?;
+            let shape = match args.get("tree").unwrap_or("grid") {
+                "grid" => TreeShape::GridHierarchical,
+                "binary" => TreeShape::Binary,
+                "flat" => TreeShape::Flat,
+                other => return Err(format!("unknown tree shape {other:?}")),
+            };
+            let (rate, combine) = rates(n);
+            let res = run_experiment(
+                &rt,
+                &Experiment {
+                    m,
+                    n,
+                    algorithm: Algorithm::Tsqr { shape, domains_per_cluster: domains },
+                    compute_q: args.has("q"),
+                    mode,
+                    rate_flops: rate,
+                    combine_rate_flops: combine,
+                },
+            );
+            let mut out = describe("TSQR", &res);
+            out.push_str(&verify(&res)?);
+            Ok(out)
+        }
+        "scalapack" => {
+            let algorithm = if args.has("blocked") {
+                Algorithm::ScalapackQrf { nb: 64, nx: 128 }
+            } else {
+                Algorithm::ScalapackQr2
+            };
+            let (rate, _) = rates(n);
+            let res = run_experiment(
+                &rt,
+                &Experiment {
+                    m,
+                    n,
+                    algorithm,
+                    compute_q: false,
+                    mode,
+                    rate_flops: rate,
+                    combine_rate_flops: None,
+                },
+            );
+            let mut out = describe("ScaLAPACK", &res);
+            out.push_str(&verify(&res)?);
+            Ok(out)
+        }
+        "compare" => {
+            let (rate, combine) = rates(n);
+            let mk = |algorithm| Experiment {
+                m,
+                n,
+                algorithm,
+                compute_q: false,
+                mode: Mode::Symbolic,
+                rate_flops: rate,
+                combine_rate_flops: combine,
+            };
+            let t = run_experiment(
+                &rt,
+                &mk(Algorithm::Tsqr {
+                    shape: TreeShape::GridHierarchical,
+                    domains_per_cluster: 64,
+                }),
+            );
+            let s = run_experiment(&rt, &mk(Algorithm::ScalapackQr2));
+            let mut out = describe("TSQR     ", &t);
+            out.push_str(&describe("ScaLAPACK", &s));
+            out.push_str(&format!("speedup: {:.2}x\n", s.makespan.secs() / t.makespan.secs()));
+            Ok(out)
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            usage()
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! `grid-tsqr` — umbrella crate for the reproduction of *"QR Factorization
+//! of Tall and Skinny Matrices in a Grid Computing Environment"* (Agullo,
+//! Coti, Dongarra, Herault, Langou — IPDPS 2010).
+//!
+//! This crate re-exports the workspace members under stable names and hosts
+//! the runnable examples (`examples/`) and the cross-crate integration
+//! tests (`tests/`). See the individual crates for the real content:
+//!
+//! * [`linalg`] — dense linear-algebra substrate (Householder QR, blocked
+//!   QR, the TSQR stacked-triangles combine kernel).
+//! * [`netsim`] — the simulated grid: topology, link classes and the
+//!   α/β/γ cost model of the paper's Eq. (1), with the Grid'5000 preset.
+//! * [`gridmpi`] — MPI-like message-passing runtime with virtual clocks and
+//!   per-link-class traffic accounting.
+//! * [`qcg`] — topology-aware middleware: JobProfile, resource catalog and
+//!   the meta-scheduler (the QCG-OMPI/QosCosGrid analogue).
+//! * [`core`] — the paper's contribution: TSQR over tuned reduction trees,
+//!   the ScaLAPACK-style baseline, CAQR, and the performance model.
+
+pub use tsqr_core as core;
+pub use tsqr_gridmpi as gridmpi;
+pub use tsqr_linalg as linalg;
+pub use tsqr_netsim as netsim;
+pub use tsqr_qcg as qcg;

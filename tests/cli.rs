@@ -1,0 +1,70 @@
+//! Smoke tests of the `grid-tsqr` command-line front end.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_grid-tsqr"))
+}
+
+#[test]
+fn info_lists_the_catalog() {
+    let out = cli().arg("info").output().expect("run cli");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for site in ["orsay", "toulouse", "bordeaux", "sophia"] {
+        assert!(text.contains(site), "missing {site} in:\n{text}");
+    }
+}
+
+#[test]
+fn symbolic_tsqr_reports_the_wan_bill() {
+    let out = cli()
+        .args(["tsqr", "--m", "1048576", "--n", "64", "--sites", "3"])
+        .output()
+        .expect("run cli");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("(2 WAN)"), "3 sites -> 2 WAN messages:\n{text}");
+}
+
+#[test]
+fn real_run_verifies_r() {
+    let out = cli()
+        .args(["tsqr", "--m", "4096", "--n", "8", "--sites", "2", "--real", "--seed", "5"])
+        .output()
+        .expect("run cli");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("R verified"), "{text}");
+}
+
+#[test]
+fn scalapack_blocked_and_unblocked_both_run() {
+    for extra in [vec![], vec!["--blocked"]] {
+        let mut args = vec!["scalapack", "--m", "65536", "--n", "32", "--sites", "1"];
+        args.extend(extra.iter().copied());
+        let out = cli().args(&args).output().expect("run cli");
+        assert!(out.status.success(), "args: {args:?}");
+    }
+}
+
+#[test]
+fn compare_declares_a_winner() {
+    let out = cli()
+        .args(["compare", "--m", "8388608", "--n", "64", "--sites", "4"])
+        .output()
+        .expect("run cli");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("speedup:"));
+}
+
+#[test]
+fn bad_input_exits_nonzero_with_usage() {
+    for args in [vec!["bogus"], vec!["tsqr", "--sites", "9"], vec!["tsqr", "--m", "zzz"]] {
+        let out = cli().args(&args).output().expect("run cli");
+        assert!(!out.status.success(), "args: {args:?}");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("USAGE"), "{err}");
+    }
+}
