@@ -8,10 +8,27 @@
 //! at large N.
 //!
 //! Run: `cargo run --release -p tsqr-bench --bin fig6_domains_grid`
+//! (add `--trace-out fig6.json` to dump a Chrome trace of the 4-site
+//! M = 2²², N = 64 point at the optimum 64 domains/cluster).
 
-use tsqr_bench::{domain_options, grid_runtime, print_series_table, tsqr_gflops, Series, ShapeCheck};
+use tsqr_bench::{
+    domain_options, dump_traced_point, grid_runtime, print_series_table, trace_out_arg,
+    tsqr_gflops, Series, ShapeCheck,
+};
+use tsqr_core::experiment::Algorithm;
+use tsqr_core::tree::TreeShape;
 
 fn main() {
+    if let Some(path) = trace_out_arg() {
+        dump_traced_point(
+            &path,
+            4,
+            4_194_304,
+            64,
+            Algorithm::Tsqr { shape: TreeShape::GridHierarchical, domains_per_cluster: 64 },
+        )
+        .expect("writing trace file");
+    }
     let rt = grid_runtime(4);
     let mut checks = ShapeCheck::new();
 

@@ -7,10 +7,31 @@
 //! matrices (small M, N = 512 — Property 5).
 //!
 //! Run: `cargo run --release -p tsqr-bench --bin fig8_best`
+//! (add `--trace-out fig8.json` to dump Chrome traces of the head-to-head
+//! 4-site M = 2²³, N = 512 point: `fig8.json` for TSQR at its optimum
+//! 32 domains/cluster and `fig8.json.scalapack.json` for ScaLAPACK).
 
-use tsqr_bench::{grid_runtime, paper_m_values, print_series_table, scalapack_gflops, tsqr_best_gflops, Series, ShapeCheck};
+use tsqr_bench::{
+    dump_traced_point, grid_runtime, paper_m_values, print_series_table, scalapack_gflops,
+    trace_out_arg, tsqr_best_gflops, Series, ShapeCheck,
+};
+use tsqr_core::experiment::Algorithm;
+use tsqr_core::tree::TreeShape;
 
 fn main() {
+    if let Some(path) = trace_out_arg() {
+        dump_traced_point(
+            &path,
+            4,
+            8_388_608,
+            512,
+            Algorithm::Tsqr { shape: TreeShape::GridHierarchical, domains_per_cluster: 32 },
+        )
+        .expect("writing trace file");
+        let scal = path.with_extension("json.scalapack.json");
+        dump_traced_point(&scal, 4, 8_388_608, 512, Algorithm::ScalapackQr2)
+            .expect("writing trace file");
+    }
     let runtimes: Vec<_> = [1usize, 2, 4].iter().map(|&s| grid_runtime(s)).collect();
     let mut checks = ShapeCheck::new();
 

@@ -88,6 +88,81 @@ pub fn scalapack_gflops(rt: &Runtime, m: u64, n: usize) -> f64 {
     symbolic_point(rt, m, n, Algorithm::ScalapackQr2).gflops
 }
 
+/// Parses the optional `--trace-out <file>` flag every figure binary
+/// accepts (see `docs/observability.md`). Returns the file path when the
+/// flag is present; exits with usage on a missing value.
+pub fn trace_out_arg() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            match args.next() {
+                Some(v) => return Some(v.into()),
+                None => {
+                    eprintln!("error: --trace-out needs a file path");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Runs one traced symbolic point (the calling figure's headline
+/// configuration), writes its Chrome-trace JSON to `path` and prints a
+/// digest: event counts, the critical path through the happens-before
+/// DAG, and the per-phase Eq. (1) ledger.
+///
+/// Also asserts the free invariant that the critical path tiles the
+/// makespan exactly — every figure regeneration doubles as a check of
+/// the analyzer.
+pub fn dump_traced_point(
+    path: &std::path::Path,
+    sites: usize,
+    m: u64,
+    n: usize,
+    algorithm: Algorithm,
+) -> std::io::Result<()> {
+    let mut rt = grid_runtime(sites);
+    rt.enable_tracing();
+    let res = run_experiment(
+        &rt,
+        &Experiment {
+            m,
+            n,
+            algorithm,
+            compute_q: false,
+            mode: Mode::Symbolic,
+            rate_flops: Some(calib::kernel_rate_flops(n)),
+            combine_rate_flops: Some(calib::combine_rate_flops()),
+        },
+    );
+    let trace = res.trace.as_ref().expect("tracing was enabled");
+    let cp = trace.critical_path();
+    let err = (cp.total().secs() - res.makespan.secs()).abs();
+    assert!(
+        err <= 1e-9 * res.makespan.secs().max(1.0),
+        "critical path ({} s) must tile the makespan ({} s)",
+        cp.total().secs(),
+        res.makespan.secs()
+    );
+    std::fs::write(path, trace.chrome_json())?;
+    println!(
+        "# trace: {} events, {} WAN sends, makespan {:.3} s -> {} (load in ui.perfetto.dev)",
+        trace.len(),
+        trace.wan_sends().len(),
+        res.makespan.secs(),
+        path.display()
+    );
+    println!("# critical path (== makespan, checked):");
+    for line in cp.render().lines() {
+        println!("#   {line}");
+    }
+    for line in res.aggregate_metrics().render().lines() {
+        println!("#   {line}");
+    }
+    Ok(())
+}
+
 /// One plotted line: a label and its `(M, Gflop/s)` points.
 #[derive(Debug, Clone)]
 pub struct Series {

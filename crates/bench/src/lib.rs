@@ -24,6 +24,9 @@
 //! | `eq1_validation`    | §IV: Eq. (1) vs the simulation, per configuration   |
 //!
 //! Set `GRID_TSQR_RESULTS=<dir>` to also save every printed series as TSV.
+//! Pass `--trace-out <file>` to the Fig. 4–8 binaries to additionally dump
+//! a Chrome-trace JSON of that figure's headline configuration, plus its
+//! critical path and per-phase Eq. (1) ledger (see `docs/observability.md`).
 //!
 //! The sweeps execute the *actual distributed schedules* of the algorithms
 //! (symbolic payloads, real message passing, virtual clocks priced with the
@@ -34,6 +37,7 @@ pub mod calib;
 pub mod harness;
 
 pub use harness::{
-    domain_options, grid_runtime, paper_m_values, print_series_table, save_series_tsv,
-    scalapack_gflops, tsqr_best_gflops, tsqr_gflops, ShapeCheck, Series,
+    domain_options, dump_traced_point, grid_runtime, paper_m_values, print_series_table,
+    save_series_tsv, scalapack_gflops, trace_out_arg, tsqr_best_gflops, tsqr_gflops,
+    ShapeCheck, Series,
 };

@@ -45,6 +45,16 @@ const TAG_C_BACK: u32 = 1303;
 /// Tag for gathering the final R to rank 0.
 const TAG_GATHER: u32 = 1304;
 
+/// Phase label for the per-panel local leaf factorization plus local
+/// trailing update (step 1 — zero communication).
+pub const PHASE_PANEL_LEAF: &str = "panel-leaf";
+/// Phase label for the per-panel tree reduction with coupled trailing
+/// updates (step 2 — where all panel communication happens).
+pub const PHASE_PANEL_TREE: &str = "panel-tree";
+/// Phase label for the final gather of R tiles to rank 0 (bookkeeping,
+/// not part of the factorization the paper times).
+pub const PHASE_GATHER: &str = "gather";
+
 /// Configuration of a distributed CAQR run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CaqrDistConfig {
@@ -163,6 +173,7 @@ pub fn caqr_dist_rank_program_with(
         let trail = n - col0 - b;
 
         // --- 1. Local leaf factorization + local trailing update. ---
+        p.phase_begin(PHASE_PANEL_LEAF);
         let mut r1: Option<Matrix> = None;
         if rows > 0 {
             let mut work = local.sub_matrix(off, col0, rows, b);
@@ -182,9 +193,11 @@ pub fn caqr_dist_rank_program_with(
             let r = work.sub_matrix(0, 0, b, b);
             r1 = Some(r.upper_triangular_padded());
         }
+        p.phase_end();
 
         // --- 2. Tree reduction with coupled trailing updates. ---
         if let (Some(pos), Some(mut r_acc)) = (my_pos, r1) {
+            p.phase_begin(PHASE_PANEL_TREE);
             let tree = ReductionTree::build(
                 cfg.shape,
                 participants.len(),
@@ -228,17 +241,19 @@ pub fn caqr_dist_rank_program_with(
                 debug_assert!(map.owns(k));
                 local.set_sub(off, col0, &r_acc.upper_triangular_padded());
             }
+            p.phase_end();
         }
     }
 
     // --- Gather the R tiles (diagonal row-blocks) to rank 0. ---
+    p.phase_begin(PHASE_GATHER);
     let mut mine: Vec<(usize, Matrix)> = Vec::new();
     for (i, &t) in map.tiles.iter().enumerate() {
         if t < n_panels {
             mine.push((t, local.sub_matrix(i * b, 0, b, n)));
         }
     }
-    if p.rank() == 0 {
+    let out = if p.rank() == 0 {
         let mut r = Matrix::zeros(n, n);
         for (t, block) in mine {
             r.set_sub(t * b, 0, &block);
@@ -253,15 +268,17 @@ pub fn caqr_dist_rank_program_with(
                 r.set_sub(t as usize * b, 0, &block);
             }
         }
-        Ok(Some(r.upper_triangular_padded()))
+        Some(r.upper_triangular_padded())
     } else {
         let payload: Vec<(u64, Matrix)> =
             mine.into_iter().map(|(t, m)| (t as u64, m)).collect();
         if !payload.is_empty() {
             p.send(0, TAG_GATHER, payload)?;
         }
-        Ok(None)
-    }
+        None
+    };
+    p.phase_end();
+    Ok(out)
 }
 
 /// The symbolic twin: identical schedule and charged flops, no numerics,
@@ -294,16 +311,19 @@ pub fn caqr_dist_rank_program_symbolic(
         let trail = n - k * b - b;
         let _ = off;
 
+        p.phase_begin(PHASE_PANEL_LEAF);
         if rows > 0 {
             p.compute(flops::geqrf(rows as u64, b as u64), cfg.rate_flops);
             if trail > 0 {
                 p.compute(2 * flops::gemm(rows as u64, trail as u64, b as u64), cfg.rate_flops);
             }
         }
+        p.phase_end();
         if let Some(pos) = my_pos {
             if rows == 0 {
                 continue;
             }
+            p.phase_begin(PHASE_PANEL_TREE);
             let tree = ReductionTree::build(
                 cfg.shape,
                 participants.len(),
@@ -332,6 +352,7 @@ pub fn caqr_dist_rank_program_symbolic(
                     }
                 }
             }
+            p.phase_end();
         }
     }
     Ok(())

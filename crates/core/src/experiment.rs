@@ -7,7 +7,9 @@
 //! placed topology and returns that metric along with the full traffic
 //! breakdown.
 
-use tsqr_gridmpi::{Process, RankStats, RunReport, Runtime, TrafficCounters};
+use tsqr_gridmpi::{
+    MetricsRegistry, Process, RankStats, RunReport, Runtime, Trace, TrafficCounters,
+};
 use tsqr_linalg::Matrix;
 use tsqr_netsim::VirtualTime;
 
@@ -87,9 +89,23 @@ pub struct ExperimentResult {
     pub per_rank: Vec<RankStats>,
     /// The R factor (real mode, from rank 0).
     pub r: Option<Matrix>,
+    /// The event trace, when the runtime had tracing enabled
+    /// (see [`Runtime::enable_tracing`]). Feed it to
+    /// [`Trace::chrome_json`] or [`Trace::critical_path`].
+    pub trace: Option<Trace>,
+    /// Per-rank Eq. (1) metrics ledgers (always collected).
+    pub metrics: Vec<MetricsRegistry>,
 }
 
 impl ExperimentResult {
+    /// All ranks' metrics merged into one registry.
+    pub fn aggregate_metrics(&self) -> MetricsRegistry {
+        let mut out = MetricsRegistry::default();
+        for m in &self.metrics {
+            out.merge(m);
+        }
+        out
+    }
     /// The largest per-rank flop count — the compute term of the critical
     /// path (for TSQR this is the tree root: leaf + `log₂(P)` combines).
     pub fn max_flops_per_rank(&self) -> u64 {
@@ -187,7 +203,15 @@ pub fn run_experiment(rt: &Runtime, exp: &Experiment) -> ExperimentResult {
     let gflops = model::useful_flops(exp.m, exp.n as u64, exp.compute_q)
         / makespan.secs().max(f64::MIN_POSITIVE)
         / 1e9;
-    ExperimentResult { makespan, gflops, totals: report.totals, per_rank, r }
+    ExperimentResult {
+        makespan,
+        gflops,
+        totals: report.totals,
+        per_rank,
+        r,
+        trace: report.trace,
+        metrics: report.metrics,
+    }
 }
 
 #[cfg(test)]
@@ -324,5 +348,38 @@ mod tests {
         let res = run_experiment(&rt, &exp);
         let expect = model::useful_flops(1 << 14, 16, false) / res.makespan.secs() / 1e9;
         assert!((res.gflops - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traced_experiment_exposes_phases_metrics_and_critical_path() {
+        let mut rt = mini_runtime(2, 2);
+        rt.enable_tracing();
+        let exp = Experiment {
+            m: 1 << 10,
+            n: 8,
+            algorithm: Algorithm::Tsqr {
+                shape: TreeShape::GridHierarchical,
+                domains_per_cluster: 2,
+            },
+            compute_q: false,
+            mode: Mode::Real { seed: 7 },
+            rate_flops: None,
+            combine_rate_flops: None,
+        };
+        let res = run_experiment(&rt, &exp);
+        let trace = res.trace.as_ref().expect("tracing was enabled");
+        // The TSQR phase annotations survive the plumbing.
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| e.phase == Some(crate::tsqr::PHASE_REDUCE)));
+        // The critical path tiles the makespan exactly (free invariant).
+        let cp = trace.critical_path();
+        assert!((cp.total().secs() - res.makespan.secs()).abs() < 1e-9);
+        // Metrics are always on; phase ledgers exist for leaf and reduce.
+        let agg = res.aggregate_metrics();
+        assert!(agg.phase(crate::tsqr::PHASE_LEAF).is_some());
+        assert!(agg.phase(crate::tsqr::PHASE_REDUCE).is_some());
+        assert!(agg.total().flops > 0);
     }
 }

@@ -24,6 +24,12 @@ use tsqr_linalg::flops;
 use tsqr_linalg::qr::Trans;
 use tsqr_linalg::Matrix;
 
+/// Metrics/trace phase: per-column panel factorization (the two
+/// all-reduces per column of §II-B).
+pub const PHASE_PANEL: &str = "panel";
+/// Metrics/trace phase: blocked trailing-matrix update of `pdgeqrf`.
+pub const PHASE_UPDATE: &str = "trailing-update";
+
 /// Result of a distributed panel factorization.
 #[derive(Debug, Clone)]
 pub struct Pdgeqr2Output {
@@ -58,7 +64,9 @@ pub fn pdgeqr2(
         local.rows()
     );
     let mut taus = vec![0.0; n];
+    p.phase_begin(PHASE_PANEL);
     panel_columns(p, group, &mut local, 0, n, n, &mut taus, rate_flops)?;
+    p.phase_end();
     let r = is_root.then(|| local.sub_matrix(0, 0, n, n).upper_triangular_padded());
     Ok(Pdgeqr2Output { factored: local, taus, r })
 }
@@ -188,6 +196,7 @@ pub fn pdgeqr2_symbolic(
     n: usize,
     rate_flops: Option<f64>,
 ) -> Result<(), CommError> {
+    p.phase_begin(PHASE_PANEL);
     for j in 0..n {
         // Norm reduction: two f64 values (α and the squared norm).
         group.allreduce(p, Phantom { bytes: 16 }, |a, _| a)?;
@@ -201,6 +210,7 @@ pub fn pdgeqr2_symbolic(
             rate_flops,
         );
     }
+    p.phase_end();
     Ok(())
 }
 
@@ -244,18 +254,23 @@ pub fn pdgeqrf(
         let remaining = n - j;
         // ScaLAPACK's NX crossover: unblocked once few columns remain.
         if remaining <= nx || nb == 1 {
+            p.phase_begin(PHASE_PANEL);
             panel_columns(p, group, &mut local, j, remaining, n, &mut taus, rate_flops)?;
+            p.phase_end();
             break;
         }
         let ib = nb.min(remaining);
         // --- Panel factorization (updates confined to the panel). ---
+        p.phase_begin(PHASE_PANEL);
         panel_columns(p, group, &mut local, j, ib, j + ib, &mut taus, rate_flops)?;
+        p.phase_end();
 
         // --- Blocked trailing update (nothing to do on the last panel). ---
         let trail = n - j - ib;
         if trail == 0 {
             break;
         }
+        p.phase_begin(PHASE_UPDATE);
         // This rank's slice of the unit-lower-trapezoidal Ṽ: the root
         // holds rows j.., everyone else all rows.
         let row0 = if is_root { j } else { 0 };
@@ -308,6 +323,7 @@ pub fn pdgeqrf(
         let mut c_mut = view.sub_mut(row0, j + ib, m_act, trail);
         gemm(Trans::No, Trans::No, -1.0, &vloc.view(), &w.view(), 1.0, &mut c_mut);
         p.compute(flops::gemm(m_act as u64, trail as u64, ib as u64), rate_flops);
+        p.phase_end();
 
         j += ib;
     }
@@ -332,6 +348,7 @@ pub fn pdgeqrf_symbolic(
     while j < n {
         let remaining = n - j;
         if remaining <= nx || nb == 1 {
+            p.phase_begin(PHASE_PANEL);
             for jj in j..n {
                 group.allreduce(p, Phantom { bytes: 16 }, |a, _| a)?;
                 let trailing = n - jj - 1;
@@ -340,9 +357,11 @@ pub fn pdgeqrf_symbolic(
                 }
                 p.compute(flops::pdgeqr2_column(m_loc, jj as u64, g, trailing as u64), rate_flops);
             }
+            p.phase_end();
             break;
         }
         let ib = nb.min(remaining);
+        p.phase_begin(PHASE_PANEL);
         for jj in j..j + ib {
             group.allreduce(p, Phantom { bytes: 16 }, |a, _| a)?;
             let trailing = j + ib - jj - 1;
@@ -351,10 +370,12 @@ pub fn pdgeqrf_symbolic(
             }
             p.compute(flops::pdgeqr2_column(m_loc, jj as u64, g, trailing as u64), rate_flops);
         }
+        p.phase_end();
         let trail = (n - j - ib) as u64;
         if trail == 0 {
             break;
         }
+        p.phase_begin(PHASE_UPDATE);
         let row0 = if group.my_index(p) == 0 { j as u64 } else { 0 };
         let m_act = m_loc - row0;
         p.compute(flops::gemm(ib as u64, ib as u64, m_act), rate_flops);
@@ -362,6 +383,7 @@ pub fn pdgeqrf_symbolic(
         p.compute(flops::gemm(ib as u64, trail, m_act), rate_flops);
         group.allreduce(p, Phantom { bytes: 8 * ib as u64 * trail }, |a, _| a)?;
         p.compute(flops::gemm(m_act, trail, ib as u64), rate_flops);
+        p.phase_end();
         j += ib;
     }
     Ok(())

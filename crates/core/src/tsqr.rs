@@ -35,6 +35,15 @@ const TAG_R: u32 = 1001;
 /// Tag for coupling blocks travelling down during Q reconstruction.
 const TAG_E: u32 = 1002;
 
+/// Metrics/trace phase: per-domain leaf factorization.
+pub const PHASE_LEAF: &str = "leaf-qr";
+/// Metrics/trace phase: R reduction over the domain tree.
+pub const PHASE_REDUCE: &str = "tree-reduce";
+/// Metrics/trace phase: explicit-Q down-sweep.
+pub const PHASE_DOWNSWEEP: &str = "q-downsweep";
+/// Metrics/trace phase: butterfly allreduce rounds.
+pub const PHASE_ALLREDUCE: &str = "allreduce";
+
 /// Configuration of a QCG-TSQR run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TsqrConfig {
@@ -154,6 +163,7 @@ pub fn tsqr_rank_program_with(
     let roots = layout.roots();
 
     // --- Leaf / domain factorization. ---
+    p.phase_begin(PHASE_LEAF);
     let mut leaf_q: Option<QrFactors> = None;
     let mut r_cur: Option<Matrix>;
     if dom.ranks.len() == 1 {
@@ -170,8 +180,10 @@ pub fn tsqr_rank_program_with(
         let out = pdgeqr2(p, &group, local, rate_flops)?;
         r_cur = out.r;
     }
+    p.phase_end();
 
     // --- Reduction over domain roots. ---
+    p.phase_begin(PHASE_REDUCE);
     let mut combine_stack: Vec<(StackedFactors, usize)> = Vec::new();
     let i_am_root = member == 0;
     let mut sent_to: Option<usize> = None;
@@ -196,10 +208,12 @@ pub fn tsqr_rank_program_with(
         }
         r_cur = Some(r1.upper_triangular_padded());
     }
+    p.phase_end();
 
     // --- Optional Q reconstruction (down-sweep). ---
     let mut q_block = None;
     if cfg.compute_q {
+        p.phase_begin(PHASE_DOWNSWEEP);
         // Single-process domains only (asserted above), so every rank is a
         // domain root and participates.
         let mut e = match sent_to {
@@ -224,6 +238,7 @@ pub fn tsqr_rank_program_with(
         orm2r(Side::Left, Trans::No, &f.factors.view(), &f.tau, &mut c.view_mut());
         p.compute(flops::org2r(rows, n as u64), rate_flops);
         q_block = Some(c);
+        p.phase_end();
     }
 
     let r = (p.rank() == 0).then(|| r_cur.expect("global root keeps the final R"));
@@ -249,6 +264,7 @@ pub fn tsqr_rank_program_symbolic(
     let roots = layout.roots();
     let r_bytes = 8 * (n * (n + 1) / 2) as u64;
 
+    p.phase_begin(PHASE_LEAF);
     if dom.ranks.len() == 1 {
         p.compute(flops::geqrf(rows, n as u64), rate_flops);
     } else {
@@ -256,7 +272,9 @@ pub fn tsqr_rank_program_symbolic(
         let group = Communicator::from_members(dom.ranks.clone());
         pdgeqr2_symbolic(p, &group, rows, n, rate_flops)?;
     }
+    p.phase_end();
 
+    p.phase_begin(PHASE_REDUCE);
     let mut n_combines = 0usize;
     let mut sent_to: Option<usize> = None;
     if member == 0 {
@@ -274,8 +292,10 @@ pub fn tsqr_rank_program_symbolic(
             }
         }
     }
+    p.phase_end();
 
     if cfg.compute_q {
+        p.phase_begin(PHASE_DOWNSWEEP);
         if let Some(parent_d) = sent_to {
             let _: Phantom = p.recv(roots[parent_d], TAG_E)?;
         }
@@ -294,6 +314,7 @@ pub fn tsqr_rank_program_symbolic(
             p.send(roots[partner_d], TAG_E, Phantom { bytes: 8 * (n * n) as u64 })?;
         }
         p.compute(flops::org2r(rows, n as u64), rate_flops);
+        p.phase_end();
     }
     Ok(())
 }
@@ -326,9 +347,12 @@ pub fn tsqr_allreduce_rank_program_with(
     let roots = layout.roots();
     let n_dom = layout.num_domains();
 
+    p.phase_begin(PHASE_LEAF);
     let f = QrFactors::compute(&local, cfg.nb);
     p.compute(flops::geqrf(rows, n as u64), rate_flops);
     let mut r = f.r().upper_triangular_padded();
+    p.phase_end();
+    p.phase_begin(PHASE_ALLREDUCE);
 
     // Deterministic pairwise combine: the lower-index domain's R is R1.
     let combine = |mine_d: usize, their_d: usize, mine: &Matrix, theirs: &Matrix| {
@@ -387,6 +411,7 @@ pub fn tsqr_allreduce_rank_program_with(
             p.send(roots[d - 1], TAG_R, pack_upper(&r))?;
         }
     }
+    p.phase_end();
     Ok(r)
 }
 

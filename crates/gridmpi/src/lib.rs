@@ -23,17 +23,40 @@
 //!
 //! The runtime also supports deterministic link-failure injection
 //! ([`Runtime::fail_link`]) so error-propagation paths can be tested.
+//!
+//! ## Observability
+//!
+//! Three layers, documented end-to-end in `docs/observability.md`:
+//!
+//! * **Metrics** ([`metrics`]) — always-on per-rank, per-phase counters
+//!   (messages/bytes per link class, flops, time split) returned in
+//!   [`RunReport::metrics`]. Rank programs declare phases with
+//!   [`Process::phase_begin`] / [`Process::phase_end`].
+//! * **Tracing** ([`trace`]) — opt-in ([`Runtime::enable_tracing`])
+//!   per-event records with virtual-time spans, exportable as
+//!   Chrome-trace/Perfetto JSON ([`chrome`]).
+//! * **Critical path** ([`critical`]) — the longest chain through the
+//!   traced happens-before DAG; its total equals the makespan by
+//!   construction, which every traced bench run asserts.
 
+#![warn(missing_docs)]
+
+pub mod chrome;
 pub mod comm;
+pub mod critical;
 pub mod error;
 pub mod message;
+pub mod metrics;
 pub mod process;
 pub mod runtime;
 pub mod trace;
 
+pub use chrome::chrome_trace_json;
 pub use comm::Communicator;
+pub use critical::{CriticalPath, PathSummary, Segment, SegmentKind};
 pub use error::CommError;
 pub use message::WirePayload;
+pub use metrics::{Histogram, MetricsRegistry, PhaseCounters};
 pub use process::{Process, RankStats, TrafficCounters};
 pub use runtime::{RankResult, RunReport, Runtime};
-pub use trace::{Event, EventKind, Trace};
+pub use trace::{Event, EventKind, MessageMatch, Trace};

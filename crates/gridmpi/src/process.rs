@@ -10,6 +10,7 @@ use tsqr_netsim::{CostModel, GridTopology, LinkClass, ProcLocation, VirtualTime}
 
 use crate::error::CommError;
 use crate::message::{Envelope, WirePayload};
+use crate::metrics::MetricsRegistry;
 use crate::trace::{Event, EventKind, Recorder};
 
 /// Default wall-clock safety net for receives: a rank waiting longer than
@@ -92,6 +93,10 @@ pub struct Process {
     pub(crate) recv_timeout: Duration,
     /// Event recorder (present when the runtime enabled tracing).
     pub(crate) recorder: Option<Recorder>,
+    /// Open phases, innermost last: `(name, virtual time at begin)`.
+    pub(crate) phase_stack: Vec<(&'static str, VirtualTime)>,
+    /// Always-on per-phase counters and histograms.
+    pub(crate) metrics: MetricsRegistry,
 }
 
 impl Process {
@@ -140,9 +145,68 @@ impl Process {
     }
 
     /// Advances the clock by an explicit span (e.g. externally-modelled
-    /// work).
+    /// work). Metered as compute time of the current phase.
     pub fn advance(&mut self, dt: VirtualTime) {
         self.clock += dt;
+        self.metrics.record_compute(self.current_phase(), 0, dt.secs());
+    }
+
+    /// Opens a named algorithm phase. Phases nest (innermost wins for
+    /// event stamping and metrics attribution) and must be closed with
+    /// [`Process::phase_end`]; the runtime closes any phase left open
+    /// when the rank program returns.
+    ///
+    /// Labels should be short static identifiers (`"leaf-qr"`,
+    /// `"tree-reduce"`, …) — they become metric rows and trace
+    /// categories; see `docs/observability.md`.
+    pub fn phase_begin(&mut self, name: &'static str) {
+        self.phase_stack.push((name, self.clock));
+    }
+
+    /// Closes the innermost open phase, recording its span as an
+    /// [`EventKind::Phase`] event when tracing is enabled.
+    ///
+    /// # Panics
+    /// Panics when no phase is open (an unbalanced `phase_end` is a
+    /// bug in the rank program).
+    pub fn phase_end(&mut self) {
+        let (name, began) = self.phase_stack.pop().expect("phase_end without phase_begin");
+        // Stamp the marker with the *enclosing* phase, if any.
+        let outer = self.current_phase();
+        if let Some(rec) = &mut self.recorder {
+            rec.events.push(Event {
+                rank: self.rank,
+                start: began,
+                end: self.clock,
+                phase: outer,
+                kind: EventKind::Phase { name },
+            });
+        }
+    }
+
+    /// Runs `f` inside a phase (begin/end are paired even on early
+    /// `?` returns inside `f` — the result is propagated after the
+    /// phase closes).
+    pub fn with_phase<R>(
+        &mut self,
+        name: &'static str,
+        f: impl FnOnce(&mut Self) -> R,
+    ) -> R {
+        self.phase_begin(name);
+        let out = f(self);
+        self.phase_end();
+        out
+    }
+
+    /// The innermost open phase, if any.
+    pub fn current_phase(&self) -> Option<&'static str> {
+        self.phase_stack.last().map(|(n, _)| *n)
+    }
+
+    /// The per-phase metrics recorded so far (always on — see
+    /// [`crate::metrics`]).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Charges `flops` floating-point operations at `rate` flop/s (the
@@ -151,11 +215,17 @@ impl Process {
         let start = self.clock;
         self.counters.flops += flops;
         self.clock += self.model.compute_time(flops, rate);
+        self.metrics.record_compute(
+            self.current_phase(),
+            flops,
+            (self.clock - start).secs(),
+        );
         if let Some(rec) = &mut self.recorder {
             rec.events.push(Event {
                 rank: self.rank,
                 start,
                 end: self.clock,
+                phase: self.phase_stack.last().map(|(n, _)| *n),
                 kind: EventKind::Compute { flops },
             });
         }
@@ -187,11 +257,18 @@ impl Process {
         self.counters.bytes[class.bucket()] += bytes;
         let send_start = self.clock;
         self.clock += self.model.message_time(from, to, bytes);
+        self.metrics.record_send(
+            self.current_phase(),
+            class,
+            bytes,
+            (self.clock - send_start).secs(),
+        );
         if let Some(rec) = &mut self.recorder {
             rec.events.push(Event {
                 rank: self.rank,
                 start: send_start,
                 end: self.clock,
+                phase: self.phase_stack.last().map(|(n, _)| *n),
                 kind: EventKind::Send { to: dst, bytes, class },
             });
         }
@@ -265,18 +342,26 @@ impl Process {
         // an idle NIC this is exactly `arrival`; for a hot one (e.g. the
         // root of a flat tree with P−1 concurrent senders) messages queue.
         let from = self.topo.location(env.src);
+        let class = LinkClass::between(from, self.location());
         let link = self.model.link(from, self.location());
         let wire = VirtualTime::from_secs(env.bytes as f64 * 8.0 / link.bandwidth_bps);
         let done = env.arrival.max(self.nic_free + wire);
         self.nic_free = done;
         let wait_start = self.clock;
         self.clock = self.clock.max(done);
+        self.metrics.record_recv(
+            self.current_phase(),
+            class,
+            env.bytes,
+            (self.clock - wait_start).secs(),
+        );
         if let Some(rec) = &mut self.recorder {
             rec.events.push(Event {
                 rank: self.rank,
                 start: wait_start,
                 end: self.clock,
-                kind: EventKind::Recv { from: env.src, bytes: env.bytes },
+                phase: self.phase_stack.last().map(|(n, _)| *n),
+                kind: EventKind::Recv { from: env.src, bytes: env.bytes, class },
             });
         }
         env.payload

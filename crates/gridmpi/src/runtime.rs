@@ -11,6 +11,7 @@ use tsqr_netsim::{CostModel, GridTopology, VirtualTime};
 use crate::comm::Communicator;
 use crate::error::CommError;
 use crate::message::Envelope;
+use crate::metrics::MetricsRegistry;
 use crate::process::{Process, RankStats, TrafficCounters};
 use crate::trace::{Recorder, Trace};
 
@@ -36,6 +37,8 @@ pub struct RunReport<T> {
     pub totals: TrafficCounters,
     /// The merged event trace, when tracing was enabled.
     pub trace: Option<Trace>,
+    /// Per-rank phase metrics (always collected), indexed by rank.
+    pub metrics: Vec<MetricsRegistry>,
 }
 
 impl<T> RunReport<T> {
@@ -60,6 +63,17 @@ impl<T> RunReport<T> {
     /// any single rank (a per-rank proxy used by tree-shape tests).
     pub fn max_msgs_per_rank(&self) -> u64 {
         self.ranks.iter().map(|r| r.stats.traffic.total_msgs()).max().unwrap_or(0)
+    }
+
+    /// Folds every rank's [`MetricsRegistry`] into one run-wide registry
+    /// (phases in the order rank 0 first entered them, then any phases
+    /// only other ranks saw).
+    pub fn aggregate_metrics(&self) -> MetricsRegistry {
+        let mut out = MetricsRegistry::default();
+        for m in &self.metrics {
+            out.merge(m);
+        }
+        out
     }
 }
 
@@ -136,6 +150,7 @@ impl Runtime {
 
         let mut rank_results: Vec<Option<RankResult<T>>> = (0..n).map(|_| None).collect();
         let mut rank_traces: Vec<Vec<crate::trace::Event>> = (0..n).map(|_| Vec::new()).collect();
+        let mut rank_metrics: Vec<MetricsRegistry> = (0..n).map(|_| Default::default()).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for (rank, inbox) in inboxes.into_iter().enumerate() {
@@ -159,9 +174,16 @@ impl Runtime {
                         counters: TrafficCounters::default(),
                         recv_timeout: self.recv_timeout,
                         recorder: self.tracing.then(Recorder::default),
+                        phase_stack: Vec::new(),
+                        metrics: MetricsRegistry::default(),
                     };
                     let world = Communicator::world(n);
                     let result = program(&mut proc, &world);
+                    // Close any phases the program left open so phase
+                    // spans are recorded even on early error returns.
+                    while proc.current_phase().is_some() {
+                        proc.phase_end();
+                    }
                     let events = proc.recorder.take().map(|r| r.events).unwrap_or_default();
                     (
                         RankResult {
@@ -169,14 +191,16 @@ impl Runtime {
                             stats: RankStats { clock: proc.clock, traffic: proc.counters },
                         },
                         events,
+                        proc.metrics,
                     )
                 }));
             }
             for (rank, h) in handles.into_iter().enumerate() {
                 match h.join() {
-                    Ok((rr, events)) => {
+                    Ok((rr, events, metrics)) => {
                         rank_results[rank] = Some(rr);
                         rank_traces[rank] = events;
+                        rank_metrics[rank] = metrics;
                     }
                     Err(p) => std::panic::resume_unwind(p),
                 }
@@ -193,7 +217,7 @@ impl Runtime {
         let trace = self
             .tracing
             .then(|| Trace::from_parts(rank_traces.into_iter().flatten().collect()));
-        RunReport { ranks, makespan, totals, trace }
+        RunReport { ranks, makespan, totals, trace, metrics: rank_metrics }
     }
 }
 
@@ -398,6 +422,133 @@ mod tests {
             Ok(())
         });
         assert!(report2.trace.is_none());
+    }
+
+    #[test]
+    fn metrics_are_always_on_and_phase_bucketed() {
+        let rt = tiny_grid(1, 2, 1);
+        let report = rt.run(|p, _| {
+            p.with_phase("work", |p| {
+                p.compute(1_000_000, None);
+                if p.rank() == 0 {
+                    p.send(1, 0, 1.0f64)?;
+                } else {
+                    let _: f64 = p.recv(0, 0)?;
+                }
+                Ok(())
+            })?;
+            // Unphased tail work.
+            p.compute(2_000_000, None);
+            Ok(())
+        });
+        assert_eq!(report.metrics.len(), 2);
+        let work = report.metrics[0].phase("work").expect("phase recorded");
+        assert_eq!(work.flops, 1_000_000);
+        assert_eq!(work.total_msgs(), 1);
+        assert!(work.send_s.iter().sum::<f64>() > 0.0);
+        let wait = report.metrics[1].phase("work").unwrap().recv_wait_s;
+        assert!(wait > 0.0, "rank 1 blocked on the message");
+        let agg = report.aggregate_metrics();
+        assert_eq!(agg.phase("work").unwrap().flops, 2_000_000);
+        assert_eq!(
+            agg.phase(crate::metrics::UNPHASED).unwrap().flops,
+            4_000_000
+        );
+        // Ranks 0 and 1 sit on different nodes of one cluster: bucket 1.
+        assert_eq!(agg.msg_bytes(1).count(), 1);
+    }
+
+    #[test]
+    fn phases_are_traced_and_auto_closed() {
+        use crate::trace::EventKind;
+        let mut rt = tiny_grid(1, 2, 1);
+        rt.enable_tracing();
+        let report = rt.run(|p, _| {
+            p.phase_begin("outer");
+            p.compute(1_000_000, None);
+            p.phase_begin("inner");
+            p.compute(1_000_000, None);
+            // Both phases deliberately left open: the runtime closes them.
+            Ok(())
+        });
+        let trace = report.trace.unwrap();
+        let phases: Vec<_> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Phase { name } => Some((e.rank, name, e.phase)),
+                _ => None,
+            })
+            .collect();
+        // Each of the two ranks records inner (stamped with outer) + outer.
+        assert_eq!(phases.len(), 4);
+        assert!(phases.contains(&(0, "inner", Some("outer"))));
+        assert!(phases.contains(&(0, "outer", None)));
+        // The compute inside "inner" is stamped with the innermost phase.
+        let inner_compute = trace
+            .events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::Compute { .. }) && e.phase == Some("inner"))
+            .expect("inner compute stamped");
+        assert!(inner_compute.end > inner_compute.start);
+    }
+
+    #[test]
+    fn critical_path_total_equals_makespan() {
+        let mut rt = tiny_grid(2, 2, 2);
+        rt.enable_tracing();
+        let report = rt.run(|p, _| {
+            // A little pipeline with cross-cluster traffic: 0 → 4 → 7.
+            match p.rank() {
+                0 => {
+                    p.compute(5_000_000, None);
+                    p.send(4, 0, vec![1.0f64; 64])?;
+                }
+                4 => {
+                    let v: Vec<f64> = p.recv(0, 0)?;
+                    p.compute(2_000_000, None);
+                    p.send(7, 1, v)?;
+                }
+                7 => {
+                    let _: Vec<f64> = p.recv(4, 1)?;
+                    p.compute(1_000_000, None);
+                }
+                _ => p.compute(500_000, None),
+            }
+            Ok(())
+        });
+        let trace = report.trace.unwrap();
+        let path = trace.critical_path();
+        assert!(
+            (path.total().secs() - report.makespan.secs()).abs() < 1e-9,
+            "critical path {} != makespan {}",
+            path.total().secs(),
+            report.makespan.secs()
+        );
+        let su = path.summary();
+        assert!(su.messages >= 2, "both pipeline hops sit on the path");
+        assert!(su.wan_messages >= 1, "the 0→4 hop crosses clusters");
+        assert!(su.compute_s > 0.0);
+        // Chrome export of the same trace is well-formed and includes
+        // flow arrows for the matched messages.
+        let json = trace.chrome_json();
+        assert!(json.matches("\"ph\":\"s\"").count() >= 2);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn exchange_trace_critical_path_still_tiles_makespan() {
+        let mut rt = tiny_grid(1, 2, 1);
+        rt.enable_tracing();
+        let report = rt.run(|p, _| {
+            let partner = 1 - p.rank();
+            let _: f64 = p.exchange(partner, 3, p.rank() as f64)?;
+            p.compute(1_000_000, None);
+            Ok(())
+        });
+        let trace = report.trace.unwrap();
+        let path = trace.critical_path();
+        assert!((path.total().secs() - report.makespan.secs()).abs() < 1e-9);
     }
 
     #[test]

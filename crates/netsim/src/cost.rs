@@ -51,6 +51,29 @@ impl LinkClass {
             LinkClass::InterCluster(_, _) => 2,
         }
     }
+
+    /// Number of coarse buckets ([`LinkClass::bucket`] values `0..N_BUCKETS`).
+    pub const N_BUCKETS: usize = 3;
+
+    /// Short human-readable label for this link class: `"node"`,
+    /// `"cluster"` or `"wan"`. Stable — used verbatim in trace exports
+    /// and metrics tables (see `docs/observability.md`).
+    pub fn label(self) -> &'static str {
+        Self::bucket_label(self.bucket())
+    }
+
+    /// The label of a coarse bucket index (see [`LinkClass::bucket`]).
+    ///
+    /// # Panics
+    /// Panics when `bucket >= N_BUCKETS`.
+    pub fn bucket_label(bucket: usize) -> &'static str {
+        match bucket {
+            0 => "node",
+            1 => "cluster",
+            2 => "wan",
+            _ => panic!("link-class bucket out of range: {bucket}"),
+        }
+    }
 }
 
 /// Latency/bandwidth of one link class.
@@ -182,6 +205,16 @@ mod tests {
             LinkClass::InterCluster(1, 2)
         );
         assert!(LinkClass::between(loc(0, 0, 0), loc(1, 0, 0)).is_inter_cluster());
+    }
+
+    #[test]
+    fn labels_match_buckets() {
+        assert_eq!(LinkClass::IntraNode.label(), "node");
+        assert_eq!(LinkClass::IntraCluster.label(), "cluster");
+        assert_eq!(LinkClass::InterCluster(0, 3).label(), "wan");
+        for b in 0..LinkClass::N_BUCKETS {
+            assert!(!LinkClass::bucket_label(b).is_empty());
+        }
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! crate depends on wall-clock time, which is what makes the simulation
 //! deterministic.
 
+#![warn(missing_docs)]
+
 pub mod cost;
 pub mod desktop;
 pub mod grid5000;

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full local verification: build, every test, rustdoc with warnings
+# denied (the gridmpi/netsim crates enforce #![warn(missing_docs)]),
+# and the doctests on their own (they exercise the public examples in
+# the API docs, e.g. the metrics-registry example).
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test --workspace"
+cargo test -q --workspace
+
+echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "==> cargo test --doc --workspace"
+cargo test -q --doc --workspace
+
+echo "verify: all green"

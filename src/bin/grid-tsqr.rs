@@ -6,11 +6,18 @@
 //!                     [--tree grid|binary|flat] [--real] [--q]
 //! grid-tsqr scalapack --m 1048576 --n 64  [--sites 4] [--real] [--blocked]
 //! grid-tsqr compare   --m 1048576 --n 64  [--sites 4]
+//! grid-tsqr trace     --m 1048576 --n 64  [--sites 4] [--algo tsqr|scalapack]
+//!                     [--out trace.json] [--timeline]
 //! ```
 //!
 //! By default experiments run symbolically (paper scale in milliseconds)
 //! at the calibrated kernel rates; `--real` switches to real numerics and
 //! verifies the R factor against a single-process reference.
+//!
+//! `trace` runs one point with event tracing enabled and prints the
+//! critical path plus the per-phase Eq. (1) ledger; `--out` additionally
+//! writes Chrome-trace JSON loadable in <https://ui.perfetto.dev>. The
+//! schema is documented in `docs/observability.md`.
 
 use std::process::ExitCode;
 
@@ -72,9 +79,14 @@ fn usage() -> ExitCode {
          \x20                     [--tree grid|binary|flat] [--real] [--q] [--seed <u64>]\n\
          \x20 grid-tsqr scalapack --m <rows> --n <cols> [--sites 1..4] [--real] [--blocked]\n\
          \x20 grid-tsqr compare   --m <rows> --n <cols> [--sites 1..4]\n\
+         \x20 grid-tsqr trace     --m <rows> --n <cols> [--sites 1..4] [--algo tsqr|scalapack]\n\
+         \x20                     [--domains <d>] [--tree grid|binary|flat] [--real]\n\
+         \x20                     [--out <file.json>] [--timeline]\n\
          \n\
          Symbolic runs (default) execute the full distributed schedule with\n\
-         model-priced virtual time; --real moves actual matrices and checks R.\n"
+         model-priced virtual time; --real moves actual matrices and checks R.\n\
+         trace prints the critical path and per-phase Eq. (1) ledger of one\n\
+         run; --out writes Chrome-trace JSON for ui.perfetto.dev.\n"
     );
     ExitCode::from(2)
 }
@@ -216,6 +228,91 @@ fn run() -> Result<String, String> {
             let mut out = describe("TSQR     ", &t);
             out.push_str(&describe("ScaLAPACK", &s));
             out.push_str(&format!("speedup: {:.2}x\n", s.makespan.secs() / t.makespan.secs()));
+            Ok(out)
+        }
+        "trace" => {
+            let domains: usize = args.num("domains", 64usize)?;
+            let shape = match args.get("tree").unwrap_or("grid") {
+                "grid" => TreeShape::GridHierarchical,
+                "binary" => TreeShape::Binary,
+                "flat" => TreeShape::Flat,
+                other => return Err(format!("unknown tree shape {other:?}")),
+            };
+            let (algorithm, rate, combine) = match args.get("algo").unwrap_or("tsqr") {
+                "tsqr" => {
+                    let (r, c) = rates(n);
+                    (Algorithm::Tsqr { shape, domains_per_cluster: domains }, r, c)
+                }
+                "scalapack" => {
+                    let (r, _) = rates(n);
+                    (Algorithm::ScalapackQr2, r, None)
+                }
+                "scalapack-blocked" => {
+                    let (r, _) = rates(n);
+                    (Algorithm::ScalapackQrf { nb: 64, nx: 128 }, r, None)
+                }
+                other => return Err(format!("unknown --algo {other:?}")),
+            };
+            let mut rt = grid_runtime(sites);
+            rt.enable_tracing();
+            let res = run_experiment(
+                &rt,
+                &Experiment {
+                    m,
+                    n,
+                    algorithm,
+                    compute_q: false,
+                    mode,
+                    rate_flops: rate,
+                    combine_rate_flops: combine,
+                },
+            );
+            let trace = res.trace.as_ref().expect("tracing was enabled");
+            let cp = trace.critical_path();
+            let drift = (cp.total().secs() - res.makespan.secs()).abs();
+            if drift > 1e-9 * res.makespan.secs().max(1.0) {
+                return Err(format!(
+                    "critical path ({:.9} s) does not tile the makespan ({:.9} s)",
+                    cp.total().secs(),
+                    res.makespan.secs()
+                ));
+            }
+            let mut out = describe("traced run", &res);
+            out.push_str(&verify(&res)?);
+            out.push_str(&format!(
+                "{} events traced ({} WAN sends); critical path tiles the makespan exactly\n",
+                trace.len(),
+                trace.wan_sends().len()
+            ));
+            out.push_str("\ncritical path:\n");
+            let rendered = cp.render();
+            let lines: Vec<&str> = rendered.lines().collect();
+            if lines.len() > 40 {
+                for l in &lines[..16] {
+                    out.push_str(l);
+                    out.push('\n');
+                }
+                out.push_str(&format!("  ... {} more segments ...\n", lines.len() - 32));
+                for l in &lines[lines.len() - 16..] {
+                    out.push_str(l);
+                    out.push('\n');
+                }
+            } else {
+                out.push_str(&rendered);
+            }
+            out.push('\n');
+            out.push_str(&res.aggregate_metrics().render());
+            if args.has("timeline") {
+                out.push_str("\ntimeline:\n");
+                out.push_str(&trace.render());
+            }
+            if let Some(path) = args.get("out") {
+                std::fs::write(path, trace.chrome_json())
+                    .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+                out.push_str(&format!(
+                    "\nChrome trace written to {path} (load in ui.perfetto.dev or chrome://tracing)\n"
+                ));
+            }
             Ok(out)
         }
         other => Err(format!("unknown command {other:?}")),
