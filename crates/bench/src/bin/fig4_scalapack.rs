@@ -11,16 +11,12 @@
 //! M = 2²⁰, N = 64 point — expect ~2 WAN all-reduce messages per column).
 
 use tsqr_bench::{
-    dump_traced_point, grid_runtime, paper_m_values, print_series_table, scalapack_gflops,
-    trace_out_arg, Series, ShapeCheck,
+    grid_runtime, paper_m_values, print_series_table, run_figure, scalapack_gflops,
+    Series, ShapeCheck,
 };
-use tsqr_core::experiment::Algorithm;
 
 fn main() {
-    if let Some(path) = trace_out_arg() {
-        dump_traced_point(&path, 4, 1_048_576, 64, Algorithm::ScalapackQr2)
-            .expect("writing trace file");
-    }
+    run_figure("fig4");
     let runtimes: Vec<_> = [1usize, 2, 4].iter().map(|&s| (s, grid_runtime(s))).collect();
     let mut checks = ShapeCheck::new();
 

@@ -11,23 +11,12 @@
 //! M = 2²⁰, N = 64 point — expect O(log #clusters) WAN messages total).
 
 use tsqr_bench::{
-    dump_traced_point, grid_runtime, paper_m_values, print_series_table, trace_out_arg,
-    tsqr_best_gflops, Series, ShapeCheck,
+    grid_runtime, paper_m_values, print_series_table, run_figure, tsqr_best_gflops,
+    Series, ShapeCheck,
 };
-use tsqr_core::experiment::Algorithm;
-use tsqr_core::tree::TreeShape;
 
 fn main() {
-    if let Some(path) = trace_out_arg() {
-        dump_traced_point(
-            &path,
-            4,
-            1_048_576,
-            64,
-            Algorithm::Tsqr { shape: TreeShape::GridHierarchical, domains_per_cluster: 64 },
-        )
-        .expect("writing trace file");
-    }
+    run_figure("fig5");
     let runtimes: Vec<_> = [1usize, 2, 4].iter().map(|&s| (s, grid_runtime(s))).collect();
     let mut checks = ShapeCheck::new();
 

@@ -12,23 +12,12 @@
 //! M = 2²², N = 64 point at the optimum 64 domains/cluster).
 
 use tsqr_bench::{
-    domain_options, dump_traced_point, grid_runtime, print_series_table, trace_out_arg,
-    tsqr_gflops, Series, ShapeCheck,
+    domain_options, grid_runtime, print_series_table, run_figure, tsqr_gflops, Series,
+    ShapeCheck,
 };
-use tsqr_core::experiment::Algorithm;
-use tsqr_core::tree::TreeShape;
 
 fn main() {
-    if let Some(path) = trace_out_arg() {
-        dump_traced_point(
-            &path,
-            4,
-            4_194_304,
-            64,
-            Algorithm::Tsqr { shape: TreeShape::GridHierarchical, domains_per_cluster: 64 },
-        )
-        .expect("writing trace file");
-    }
+    run_figure("fig6");
     let rt = grid_runtime(4);
     let mut checks = ShapeCheck::new();
 

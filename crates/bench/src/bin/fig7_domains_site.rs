@@ -10,23 +10,12 @@
 //! M = 2²⁰, N = 64 point at 64 domains — no WAN sends at all).
 
 use tsqr_bench::{
-    domain_options, dump_traced_point, grid_runtime, print_series_table, trace_out_arg,
-    tsqr_gflops, Series, ShapeCheck,
+    domain_options, grid_runtime, print_series_table, run_figure, tsqr_gflops, Series,
+    ShapeCheck,
 };
-use tsqr_core::experiment::Algorithm;
-use tsqr_core::tree::TreeShape;
 
 fn main() {
-    if let Some(path) = trace_out_arg() {
-        dump_traced_point(
-            &path,
-            1,
-            1_048_576,
-            64,
-            Algorithm::Tsqr { shape: TreeShape::GridHierarchical, domains_per_cluster: 64 },
-        )
-        .expect("writing trace file");
-    }
+    run_figure("fig7");
     let rt = grid_runtime(1);
     let mut checks = ShapeCheck::new();
 

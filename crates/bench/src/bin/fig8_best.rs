@@ -12,26 +12,12 @@
 //! 32 domains/cluster and `fig8.json.scalapack.json` for ScaLAPACK).
 
 use tsqr_bench::{
-    dump_traced_point, grid_runtime, paper_m_values, print_series_table, scalapack_gflops,
-    trace_out_arg, tsqr_best_gflops, Series, ShapeCheck,
+    grid_runtime, paper_m_values, print_series_table, run_figure, scalapack_gflops,
+    tsqr_best_gflops, Series, ShapeCheck,
 };
-use tsqr_core::experiment::Algorithm;
-use tsqr_core::tree::TreeShape;
 
 fn main() {
-    if let Some(path) = trace_out_arg() {
-        dump_traced_point(
-            &path,
-            4,
-            8_388_608,
-            512,
-            Algorithm::Tsqr { shape: TreeShape::GridHierarchical, domains_per_cluster: 32 },
-        )
-        .expect("writing trace file");
-        let scal = path.with_extension("json.scalapack.json");
-        dump_traced_point(&scal, 4, 8_388_608, 512, Algorithm::ScalapackQr2)
-            .expect("writing trace file");
-    }
+    run_figure("fig8");
     let runtimes: Vec<_> = [1usize, 2, 4].iter().map(|&s| grid_runtime(s)).collect();
     let mut checks = ShapeCheck::new();
 

@@ -1,0 +1,420 @@
+//! The figure registry and the perf-regression records behind
+//! `BENCH_results.json`.
+//!
+//! Every Fig. 4–8 binary has one (or two) *headline configurations* — the
+//! points whose traces the `--trace-out` flag dumps and whose measured
+//! numbers the repository's perf-regression gate pins. This module is the
+//! single source of truth for those points ([`figure_points`]), the
+//! shared `--trace-out` / bench-emission entry the binaries call
+//! ([`crate::harness::run_figure`]) and `bench_check` both consume it, so
+//! the figure a reader traces is byte-for-byte the configuration the gate
+//! measures.
+//!
+//! A [`BenchRecord`] carries everything `scripts/bench_check.sh` compares
+//! against the committed `BENCH_baseline.json`: the makespan and Gflop/s,
+//! the Eq. (1) traffic totals (message/byte counts, WAN messages — the
+//! paper's headline `O(log #clusters)` vs `2N·log₂P` claim as data), the
+//! critical-path split, the total blocked-receive seconds, and the
+//! model-fit residual. The simulation is deterministic, so counts compare
+//! exactly and times to 1e-9 relative.
+
+use std::fmt::Write as _;
+
+use tsqr_core::experiment::{run_experiment, Algorithm, Experiment, Mode};
+use tsqr_core::modelfit;
+use tsqr_core::tree::TreeShape;
+
+use crate::calib;
+use crate::harness::grid_runtime;
+use crate::json::{escape, num, Json};
+
+/// One headline configuration of a figure binary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FigurePoint {
+    /// Which figure it belongs to (`"fig4"` … `"fig8"`).
+    pub figure: &'static str,
+    /// Distinguishes multiple points of one figure (`"tsqr"`,
+    /// `"scalapack"`); the first listed point is the primary one.
+    pub label: &'static str,
+    /// Number of Grid'5000 sites.
+    pub sites: usize,
+    /// Rows.
+    pub m: u64,
+    /// Columns.
+    pub n: usize,
+    /// The algorithm under test.
+    pub algorithm: Algorithm,
+}
+
+impl FigurePoint {
+    /// Stable identifier used in `BENCH_results.json` (`"fig5/tsqr"`).
+    pub fn id(&self) -> String {
+        format!("{}/{}", self.figure, self.label)
+    }
+}
+
+const TSQR64: Algorithm =
+    Algorithm::Tsqr { shape: TreeShape::GridHierarchical, domains_per_cluster: 64 };
+const TSQR32: Algorithm =
+    Algorithm::Tsqr { shape: TreeShape::GridHierarchical, domains_per_cluster: 32 };
+
+/// The figures with registered headline points, in order.
+pub fn all_figures() -> [&'static str; 5] {
+    ["fig4", "fig5", "fig6", "fig7", "fig8"]
+}
+
+/// The headline configuration(s) of one figure binary — the points
+/// `--trace-out` dumps and the bench gate pins.
+///
+/// # Panics
+/// Panics on an unknown figure name.
+pub fn figure_points(figure: &str) -> Vec<FigurePoint> {
+    let p = |label, sites, m, n, algorithm| FigurePoint {
+        figure: match figure {
+            "fig4" => "fig4",
+            "fig5" => "fig5",
+            "fig6" => "fig6",
+            "fig7" => "fig7",
+            "fig8" => "fig8",
+            other => panic!("unknown figure {other:?}"),
+        },
+        label,
+        sites,
+        m,
+        n,
+        algorithm,
+    };
+    match figure {
+        // Fig. 4's story is ScaLAPACK on the grid; Figs. 5–7 are TSQR;
+        // Fig. 8 is the head-to-head at the paper's peak point.
+        "fig4" => vec![p("scalapack", 4, 1_048_576, 64, Algorithm::ScalapackQr2)],
+        "fig5" => vec![p("tsqr", 4, 1_048_576, 64, TSQR64)],
+        "fig6" => vec![p("tsqr", 4, 4_194_304, 64, TSQR64)],
+        "fig7" => vec![p("tsqr", 1, 1_048_576, 64, TSQR64)],
+        "fig8" => vec![
+            p("tsqr", 4, 8_388_608, 512, TSQR32),
+            p("scalapack", 4, 8_388_608, 512, Algorithm::ScalapackQr2),
+        ],
+        other => panic!("unknown figure {other:?}"),
+    }
+}
+
+/// One measured headline point — the unit of the perf-regression gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// `figure/label` identifier.
+    pub id: String,
+    /// Sites / rows / columns of the configuration.
+    pub sites: usize,
+    /// Rows.
+    pub m: u64,
+    /// Columns.
+    pub n: usize,
+    /// Simulated makespan, seconds.
+    pub makespan_s: f64,
+    /// The paper's Gflop/s metric.
+    pub gflops: f64,
+    /// Total messages sent.
+    pub msgs: u64,
+    /// Messages that crossed a wide-area link.
+    pub wan_msgs: u64,
+    /// Total payload bytes sent.
+    pub bytes: u64,
+    /// Critical-path compute seconds.
+    pub cp_compute_s: f64,
+    /// Critical-path send seconds.
+    pub cp_send_s: f64,
+    /// WAN messages *on the critical path*.
+    pub cp_wan_msgs: u64,
+    /// Total blocked-receive seconds across all ranks.
+    pub wait_s: f64,
+    /// Relative residual of the Eq. (1) least-squares fit.
+    pub model_residual: f64,
+}
+
+/// Runs one headline point traced and distills it into a
+/// [`BenchRecord`]. Also asserts the two cross-layer invariants the
+/// observability stack guarantees: the critical path tiles the makespan,
+/// and the wait-state classification reconciles with the metrics
+/// registry to 1e-9 — so every bench run doubles as an integration test
+/// of the diagnostics.
+pub fn measure_point(point: &FigurePoint) -> BenchRecord {
+    let mut rt = grid_runtime(point.sites);
+    rt.enable_tracing();
+    let res = run_experiment(
+        &rt,
+        &Experiment {
+            m: point.m,
+            n: point.n,
+            algorithm: point.algorithm,
+            compute_q: false,
+            mode: Mode::Symbolic,
+            rate_flops: Some(calib::kernel_rate_flops(point.n)),
+            combine_rate_flops: Some(calib::combine_rate_flops()),
+        },
+    );
+    let trace = res.trace.as_ref().expect("tracing was enabled");
+    let cp = trace.critical_path();
+    assert!(
+        (cp.total().secs() - res.makespan.secs()).abs()
+            <= 1e-9 * res.makespan.secs().max(1.0),
+        "critical path must tile the makespan ({})",
+        point.id()
+    );
+    let cps = cp.summary();
+    let diag = trace.diagnose(rt.topology().num_procs(), 64);
+    let drift = diag.reconcile(&res.metrics);
+    // Relative 1e-9: the two sides sum millions of f64 intervals in
+    // different orders, so the agreement is exact up to rounding noise
+    // proportional to the total wait.
+    let wait_scale = diag.total().total_wait_s().max(1.0);
+    assert!(
+        drift <= 1e-9 * wait_scale,
+        "wait states must reconcile with recv_wait_s ({}: drift {drift})",
+        point.id()
+    );
+    let fit = modelfit::fit(&modelfit::samples_from_metrics(&res.metrics));
+    BenchRecord {
+        id: point.id(),
+        sites: point.sites,
+        m: point.m,
+        n: point.n,
+        makespan_s: res.makespan.secs(),
+        gflops: res.gflops,
+        msgs: res.totals.total_msgs(),
+        wan_msgs: res.totals.inter_cluster_msgs(),
+        bytes: res.totals.total_bytes(),
+        cp_compute_s: cps.compute_s,
+        cp_send_s: cps.send_s,
+        cp_wan_msgs: cps.wan_messages as u64,
+        wait_s: diag.total().total_wait_s(),
+        model_residual: fit.map(|f| f.rel_residual).unwrap_or(0.0),
+    }
+}
+
+/// Measures every headline point of one figure.
+pub fn bench_records(figure: &str) -> Vec<BenchRecord> {
+    figure_points(figure).iter().map(measure_point).collect()
+}
+
+/// Serializes records as the `BENCH_results.json` document (schema
+/// documented in `docs/observability.md` §8.4). Deterministic: fixed key
+/// order, shortest-round-trip numbers.
+pub fn records_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"grid-tsqr-bench/v1\",\n  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"id\": \"{}\", \"sites\": {}, \"m\": {}, \"n\": {}, \
+             \"makespan_s\": {}, \"gflops\": {}, \"msgs\": {}, \"wan_msgs\": {}, \
+             \"bytes\": {}, \"cp_compute_s\": {}, \"cp_send_s\": {}, \
+             \"cp_wan_msgs\": {}, \"wait_s\": {}, \"model_residual\": {}}}",
+            escape(&r.id),
+            r.sites,
+            r.m,
+            r.n,
+            num(r.makespan_s),
+            num(r.gflops),
+            r.msgs,
+            r.wan_msgs,
+            r.bytes,
+            num(r.cp_compute_s),
+            num(r.cp_send_s),
+            r.cp_wan_msgs,
+            num(r.wait_s),
+            num(r.model_residual),
+        );
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses a `BENCH_*.json` document back into records.
+pub fn parse_records(text: &str) -> Result<Vec<BenchRecord>, String> {
+    let doc = Json::parse(text)?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("grid-tsqr-bench/v1") => {}
+        other => return Err(format!("unsupported bench schema {other:?}")),
+    }
+    let recs = doc
+        .get("records")
+        .and_then(Json::as_arr)
+        .ok_or("missing records array")?;
+    let f = |r: &Json, k: &str| -> Result<f64, String> {
+        r.get(k).and_then(Json::as_num).ok_or(format!("record missing {k:?}"))
+    };
+    recs.iter()
+        .map(|r| {
+            Ok(BenchRecord {
+                id: r
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .ok_or("record missing \"id\"")?
+                    .to_string(),
+                sites: f(r, "sites")? as usize,
+                m: f(r, "m")? as u64,
+                n: f(r, "n")? as usize,
+                makespan_s: f(r, "makespan_s")?,
+                gflops: f(r, "gflops")?,
+                msgs: f(r, "msgs")? as u64,
+                wan_msgs: f(r, "wan_msgs")? as u64,
+                bytes: f(r, "bytes")? as u64,
+                cp_compute_s: f(r, "cp_compute_s")?,
+                cp_send_s: f(r, "cp_send_s")?,
+                cp_wan_msgs: f(r, "cp_wan_msgs")? as u64,
+                wait_s: f(r, "wait_s")?,
+                model_residual: f(r, "model_residual")?,
+            })
+        })
+        .collect()
+}
+
+/// Compares measured records against a baseline. Counts must match
+/// exactly; seconds/Gflop/s to `rel_tol` relative (the simulation is
+/// deterministic, so 1e-9 is the expected setting — the tolerance only
+/// absorbs float-summation changes from refactors); residuals to an
+/// absolute 1e-6. Returns human-readable failure lines (empty = pass).
+pub fn compare_records(
+    baseline: &[BenchRecord],
+    measured: &[BenchRecord],
+    rel_tol: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for b in baseline {
+        let Some(m) = measured.iter().find(|m| m.id == b.id) else {
+            failures.push(format!("{}: missing from measured records", b.id));
+            continue;
+        };
+        let mut exact = |name: &str, want: u64, got: u64| {
+            if want != got {
+                failures.push(format!("{}: {name} changed {want} -> {got}", b.id));
+            }
+        };
+        exact("sites", b.sites as u64, m.sites as u64);
+        exact("m", b.m, m.m);
+        exact("n", b.n as u64, m.n as u64);
+        exact("msgs", b.msgs, m.msgs);
+        exact("wan_msgs", b.wan_msgs, m.wan_msgs);
+        exact("bytes", b.bytes, m.bytes);
+        exact("cp_wan_msgs", b.cp_wan_msgs, m.cp_wan_msgs);
+        let mut close = |name: &str, want: f64, got: f64| {
+            let scale = want.abs().max(1e-12);
+            if ((got - want) / scale).abs() > rel_tol {
+                failures.push(format!(
+                    "{}: {name} drifted {want} -> {got} (rel {:.3e} > {rel_tol:.1e})",
+                    b.id,
+                    ((got - want) / scale).abs()
+                ));
+            }
+        };
+        close("makespan_s", b.makespan_s, m.makespan_s);
+        close("gflops", b.gflops, m.gflops);
+        close("cp_compute_s", b.cp_compute_s, m.cp_compute_s);
+        close("cp_send_s", b.cp_send_s, m.cp_send_s);
+        close("wait_s", b.wait_s, m.wait_s);
+        if (b.model_residual - m.model_residual).abs() > 1e-6 {
+            failures.push(format!(
+                "{}: model_residual drifted {} -> {}",
+                b.id, b.model_residual, m.model_residual
+            ));
+        }
+    }
+    for m in measured {
+        if !baseline.iter().any(|b| b.id == m.id) {
+            failures.push(format!(
+                "{}: not in baseline (bless with scripts/bench_check.sh --bless)",
+                m.id
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_figures_with_valid_points() {
+        for fig in all_figures() {
+            let pts = figure_points(fig);
+            assert!(!pts.is_empty());
+            assert_eq!(pts[0].figure, fig);
+            for p in &pts {
+                assert!(p.sites >= 1 && p.m > 0 && p.n > 0);
+                assert!(p.id().starts_with(fig));
+            }
+        }
+        assert_eq!(figure_points("fig8").len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown figure")]
+    fn unknown_figure_panics() {
+        figure_points("fig9");
+    }
+
+    fn rec(id: &str, msgs: u64, makespan: f64) -> BenchRecord {
+        BenchRecord {
+            id: id.into(),
+            sites: 2,
+            m: 1 << 20,
+            n: 64,
+            makespan_s: makespan,
+            gflops: 10.0,
+            msgs,
+            wan_msgs: 1,
+            bytes: 4096,
+            cp_compute_s: makespan * 0.9,
+            cp_send_s: makespan * 0.1,
+            cp_wan_msgs: 1,
+            wait_s: 0.25,
+            model_residual: 0.01,
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let records = vec![rec("fig5/tsqr", 127, 0.134261), rec("fig4/scalapack", 113792, 1.184)];
+        let text = records_json(&records);
+        let back = parse_records(&text).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn compare_flags_count_and_time_drift() {
+        let base = vec![rec("fig5/tsqr", 127, 0.134261)];
+        assert!(compare_records(&base, &base, 1e-9).is_empty());
+        let mut worse = base.clone();
+        worse[0].msgs = 128;
+        worse[0].makespan_s *= 1.0 + 1e-6;
+        let fails = compare_records(&base, &worse, 1e-9);
+        assert_eq!(fails.len(), 2, "{fails:?}");
+        assert!(fails.iter().any(|f| f.contains("msgs changed")));
+        assert!(fails.iter().any(|f| f.contains("makespan_s drifted")));
+        // Missing and extra records are both flagged.
+        let fails = compare_records(&base, &[rec("fig9/x", 1, 1.0)], 1e-9);
+        assert_eq!(fails.len(), 2);
+    }
+
+    #[test]
+    fn measure_point_smoke_on_a_small_config() {
+        // A tiny single-site TSQR point: cheap enough for unit tests and
+        // exercises the full traced-measurement path including the two
+        // embedded invariants.
+        let p = FigurePoint {
+            figure: "fig7",
+            label: "tsqr",
+            sites: 1,
+            m: 1 << 17,
+            n: 64,
+            algorithm: TSQR64,
+        };
+        let r = measure_point(&p);
+        assert!(r.makespan_s > 0.0 && r.gflops > 0.0);
+        assert!(r.msgs > 0);
+        assert_eq!(r.wan_msgs, 0, "single site has no WAN traffic");
+        assert!(r.model_residual >= 0.0);
+    }
+}

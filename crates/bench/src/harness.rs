@@ -163,6 +163,46 @@ pub fn dump_traced_point(
     Ok(())
 }
 
+/// The shared `--trace-out` / bench-emission entry point every Fig. 4–8
+/// binary calls before printing its sweep.
+///
+/// Looks up the figure's headline configuration(s) in the registry
+/// ([`crate::figures::figure_points`]) and:
+///
+/// * when `--trace-out <file>` was passed, dumps each point's Chrome
+///   trace via [`dump_traced_point`] — the primary (first) point goes to
+///   `<file>` itself, any further point to
+///   `<file>.with_extension("json.<label>.json")` (so `fig8` still
+///   produces its ScaLAPACK companion trace next to the TSQR one);
+/// * when `GRID_TSQR_BENCH_OUT=<dir>` is set, measures every point and
+///   writes the records as `<dir>/BENCH_<figure>.json` (the same schema
+///   `bench_check` compares against the committed baseline).
+///
+/// Doing both through one registry keeps the traced configuration and
+/// the perf-gated configuration byte-for-byte identical.
+pub fn run_figure(figure: &str) {
+    let points = crate::figures::figure_points(figure);
+    if let Some(path) = trace_out_arg() {
+        for (i, p) in points.iter().enumerate() {
+            let target = if i == 0 {
+                path.clone()
+            } else {
+                path.with_extension(format!("json.{}.json", p.label))
+            };
+            dump_traced_point(&target, p.sites, p.m, p.n, p.algorithm)
+                .expect("write trace");
+        }
+    }
+    if let Ok(dir) = std::env::var("GRID_TSQR_BENCH_OUT") {
+        let records: Vec<_> =
+            points.iter().map(crate::figures::measure_point).collect();
+        let out = std::path::Path::new(&dir).join(format!("BENCH_{figure}.json"));
+        std::fs::write(&out, crate::figures::records_json(&records))
+            .expect("write bench records");
+        println!("# bench records -> {}", out.display());
+    }
+}
+
 /// One plotted line: a label and its `(M, Gflop/s)` points.
 #[derive(Debug, Clone)]
 pub struct Series {

@@ -27,6 +27,10 @@
 //! Pass `--trace-out <file>` to the Fig. 4–8 binaries to additionally dump
 //! a Chrome-trace JSON of that figure's headline configuration, plus its
 //! critical path and per-phase Eq. (1) ledger (see `docs/observability.md`).
+//! Set `GRID_TSQR_BENCH_OUT=<dir>` to have the same binaries emit their
+//! headline points as `BENCH_<fig>.json` perf-gate records; the `bench_check`
+//! binary (driven by `scripts/bench_check.sh`) measures every registered
+//! point and diffs it against the committed `BENCH_baseline.json`.
 //!
 //! The sweeps execute the *actual distributed schedules* of the algorithms
 //! (symbolic payloads, real message passing, virtual clocks priced with the
@@ -34,10 +38,16 @@
 //! (the domain-kernel efficiency curve η(N)).
 
 pub mod calib;
+pub mod figures;
 pub mod harness;
+pub mod json;
 
+pub use figures::{
+    all_figures, bench_records, compare_records, figure_points, measure_point,
+    parse_records, records_json, BenchRecord, FigurePoint,
+};
 pub use harness::{
     domain_options, dump_traced_point, grid_runtime, paper_m_values, print_series_table,
-    save_series_tsv, scalapack_gflops, trace_out_arg, tsqr_best_gflops, tsqr_gflops,
-    ShapeCheck, Series,
+    run_figure, save_series_tsv, scalapack_gflops, trace_out_arg, tsqr_best_gflops,
+    tsqr_gflops, ShapeCheck, Series,
 };

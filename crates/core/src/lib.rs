@@ -32,6 +32,9 @@
 //! * [`lstsq`] — distributed least squares: `(R, c)` pairs up the tuned
 //!   tree, one triangular solve at the root.
 //! * [`model`] — Tables I and II, Eq. (1), Properties 1–5.
+//! * [`modelfit`] — least-squares fit of Eq. (1) back onto a finished
+//!   run's metrics; the residual flags drift between simulation and
+//!   closed form (`grid-tsqr analyze`).
 //! * [`experiment`] — one-call driver returning the Gflop/s metric the
 //!   paper plots.
 //! * [`workload`] — deterministic distributed generation of the random TS
@@ -78,6 +81,7 @@ pub mod eigsolve;
 pub mod experiment;
 pub mod lstsq;
 pub mod model;
+pub mod modelfit;
 pub mod oocqr;
 pub mod scalapack;
 pub mod tree;
@@ -86,6 +90,7 @@ pub mod tsqr;
 pub mod workload;
 
 pub use domains::DomainLayout;
+pub use modelfit::{fit as fit_model, samples_from_metrics, ModelFit, Sample};
 pub use experiment::{run_experiment, Algorithm, Experiment, ExperimentResult, Mode};
 pub use tree::{ReductionTree, TreeShape};
 pub use tsqr::{TsqrConfig, TsqrRankOutput};

@@ -38,12 +38,17 @@
 //! * **Critical path** ([`critical`]) — the longest chain through the
 //!   traced happens-before DAG; its total equals the makespan by
 //!   construction, which every traced bench run asserts.
+//! * **Diagnostics** ([`diagnose`]) — Scalasca-style wait-state
+//!   classification of every blocked second (reconciled against the
+//!   metrics registry), per-link-class utilization timelines and a
+//!   rank×rank communication matrix; surfaced as `grid-tsqr analyze`.
 
 #![warn(missing_docs)]
 
 pub mod chrome;
 pub mod comm;
 pub mod critical;
+pub mod diagnose;
 pub mod error;
 pub mod message;
 pub mod metrics;
@@ -54,6 +59,7 @@ pub mod trace;
 pub use chrome::chrome_trace_json;
 pub use comm::Communicator;
 pub use critical::{CriticalPath, PathSummary, Segment, SegmentKind};
+pub use diagnose::{Diagnosis, WaitBreakdown, WaitState};
 pub use error::CommError;
 pub use message::WirePayload;
 pub use metrics::{Histogram, MetricsRegistry, PhaseCounters};

@@ -92,7 +92,9 @@ impl Histogram {
 
     /// An upper bound on the `q`-quantile (`0.0 ≤ q ≤ 1.0`): the top of
     /// the first bucket at which the cumulative count reaches
-    /// `q · count`. Exact to within the log2 bucket width; 0 when empty.
+    /// `q · count`, capped at the largest recorded sample so the bound
+    /// never exceeds a value that was actually seen. Exact to within the
+    /// log2 bucket width; 0 when empty.
     pub fn quantile(&self, q: f64) -> u64 {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
         if self.count == 0 {
@@ -103,8 +105,10 @@ impl Histogram {
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= target {
-                // Top of bucket i: 0 for bucket 0, else 2^i - 1.
-                return if i == 0 { 0 } else { ((1u128 << i) - 1) as u64 };
+                // Top of bucket i (0 for bucket 0, else 2^i - 1), but
+                // never above the recorded max.
+                let top = if i == 0 { 0 } else { ((1u128 << i) - 1) as u64 };
+                return top.min(self.max);
             }
         }
         self.max
@@ -337,8 +341,49 @@ mod tests {
         assert!((h.mean() - 1041.0 / 6.0).abs() < 1e-12);
         // Median of [0,1,1,7,8,1024] lands in the bucket of 1 (bit len 1).
         assert_eq!(h.quantile(0.5), 1);
-        assert_eq!(h.quantile(1.0), 2047); // top of 1024's bucket
+        assert_eq!(h.quantile(1.0), 1024); // bucket top 2047, capped at max
         assert_eq!(h.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn quantile_never_exceeds_recorded_max() {
+        let mut h = Histogram::default();
+        h.record(1000); // bucket top is 1023
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert!(h.quantile(q) <= 1000, "q={q} gave {}", h.quantile(q));
+        }
+        assert_eq!(h.quantile(1.0), 1000);
+        // Empty histogram: every quantile is 0, no panic.
+        let e = Histogram::default();
+        assert_eq!(e.quantile(0.5), 0);
+        assert_eq!(e.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn merge_preserves_min_max_across_empty_operands() {
+        // empty.merge(non-empty) adopts the operand's min/max.
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        b.record(5);
+        b.record(90);
+        a.merge(&b);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 90);
+        // non-empty.merge(empty) keeps its own min/max (the empty
+        // sentinel min must not leak through, nor clobber max).
+        let mut c = Histogram::default();
+        c.record(7);
+        c.merge(&Histogram::default());
+        assert_eq!(c.min(), 7);
+        assert_eq!(c.max(), 7);
+        assert_eq!(c.count(), 1);
+        // empty.merge(empty) stays empty-benign.
+        let mut d = Histogram::default();
+        d.merge(&Histogram::default());
+        assert_eq!(d.min(), 0);
+        assert_eq!(d.max(), 0);
+        assert_eq!(d.count(), 0);
+        assert_eq!(d.quantile(0.9), 0);
     }
 
     #[test]

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Perf-regression gate: measures every registered headline point of
+# Figs. 4-8 (deterministic simulation) and compares the records against
+# the committed BENCH_baseline.json. See docs/observability.md for the
+# record schema and the tolerances.
+#
+# Usage:
+#   scripts/bench_check.sh            # measure and compare; exit 1 on drift
+#   scripts/bench_check.sh --bless    # rewrite BENCH_baseline.json
+#
+# Env:
+#   GRID_TSQR_BENCH_RTOL   relative tolerance for times (default 1e-9)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_baseline.json
+RESULTS=BENCH_results.json
+
+if [[ "${1:-}" == "--bless" ]]; then
+  exec cargo run --release -q -p tsqr-bench --bin bench_check -- \
+    --bless --baseline "$BASELINE"
+fi
+
+exec cargo run --release -q -p tsqr-bench --bin bench_check -- \
+  --baseline "$BASELINE" --out "$RESULTS"

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Full local verification: build, every test, rustdoc with warnings
-# denied (the gridmpi/netsim crates enforce #![warn(missing_docs)]),
-# and the doctests on their own (they exercise the public examples in
-# the API docs, e.g. the metrics-registry example).
+# Full local verification: build, every test, clippy with warnings
+# denied, rustdoc with warnings denied (the gridmpi/netsim crates
+# enforce #![warn(missing_docs)]), and the doctests on their own (they
+# exercise the public examples in the API docs, e.g. the
+# metrics-registry example).
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -13,6 +14,9 @@ cargo build --release --workspace
 
 echo "==> cargo test --workspace"
 cargo test -q --workspace
+
+echo "==> cargo clippy --all-targets (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

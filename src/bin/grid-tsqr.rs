@@ -8,6 +8,8 @@
 //! grid-tsqr compare   --m 1048576 --n 64  [--sites 4]
 //! grid-tsqr trace     --m 1048576 --n 64  [--sites 4] [--algo tsqr|scalapack]
 //!                     [--out trace.json] [--timeline]
+//! grid-tsqr analyze   --m 1048576 --n 64  [--sites 4] [--algo tsqr|scalapack]
+//!                     [--bins 64]
 //! ```
 //!
 //! By default experiments run symbolically (paper scale in milliseconds)
@@ -18,10 +20,17 @@
 //! critical path plus the per-phase Eq. (1) ledger; `--out` additionally
 //! writes Chrome-trace JSON loadable in <https://ui.perfetto.dev>. The
 //! schema is documented in `docs/observability.md`.
+//!
+//! `analyze` runs the same traced point and prints the diagnosis instead:
+//! the Scalasca-style wait-state breakdown (reconciled against the metrics
+//! registry), per-link-class utilization timelines, the rank-to-rank
+//! communication matrix, and the Eq. (1) least-squares fit with its
+//! residual. See `docs/observability.md` §8 ("Diagnosing a run").
 
 use std::process::ExitCode;
 
 use grid_tsqr::core::experiment::{run_experiment, Algorithm, Experiment, Mode};
+use grid_tsqr::core::modelfit;
 use grid_tsqr::core::tree::TreeShape;
 use grid_tsqr::core::workload;
 use grid_tsqr::gridmpi::Runtime;
@@ -82,11 +91,15 @@ fn usage() -> ExitCode {
          \x20 grid-tsqr trace     --m <rows> --n <cols> [--sites 1..4] [--algo tsqr|scalapack]\n\
          \x20                     [--domains <d>] [--tree grid|binary|flat] [--real]\n\
          \x20                     [--out <file.json>] [--timeline]\n\
+         \x20 grid-tsqr analyze   --m <rows> --n <cols> [--sites 1..4] [--algo tsqr|scalapack]\n\
+         \x20                     [--domains <d>] [--tree grid|binary|flat] [--bins <timeline bins>]\n\
          \n\
          Symbolic runs (default) execute the full distributed schedule with\n\
          model-priced virtual time; --real moves actual matrices and checks R.\n\
          trace prints the critical path and per-phase Eq. (1) ledger of one\n\
-         run; --out writes Chrome-trace JSON for ui.perfetto.dev.\n"
+         run; --out writes Chrome-trace JSON for ui.perfetto.dev.\n\
+         analyze prints the wait-state breakdown, link utilization, the\n\
+         communication matrix and the Eq. (1) model fit of one run.\n"
     );
     ExitCode::from(2)
 }
@@ -230,7 +243,7 @@ fn run() -> Result<String, String> {
             out.push_str(&format!("speedup: {:.2}x\n", s.makespan.secs() / t.makespan.secs()));
             Ok(out)
         }
-        "trace" => {
+        "trace" | "analyze" => {
             let domains: usize = args.num("domains", 64usize)?;
             let shape = match args.get("tree").unwrap_or("grid") {
                 "grid" => TreeShape::GridHierarchical,
@@ -276,6 +289,34 @@ fn run() -> Result<String, String> {
                     cp.total().secs(),
                     res.makespan.secs()
                 ));
+            }
+            if cmd == "analyze" {
+                let bins: usize = args.num("bins", 64usize)?;
+                if bins == 0 {
+                    return Err("--bins must be at least 1".into());
+                }
+                let diag = trace.diagnose(rt.topology().num_procs(), bins);
+                let wait_drift = diag.reconcile(&res.metrics);
+                let wait_scale = diag.total().total_wait_s().max(1.0);
+                if wait_drift > 1e-9 * wait_scale {
+                    return Err(format!(
+                        "wait states do not reconcile with the metrics registry \
+                         (max drift {wait_drift:.3e} s)"
+                    ));
+                }
+                let mut out = describe("analyzed run", &res);
+                out.push_str(&verify(&res)?);
+                out.push_str(&format!(
+                    "wait states reconcile with the metrics registry \
+                     (max drift {wait_drift:.2e} s, tol 1e-9 relative)\n\n"
+                ));
+                out.push_str(&diag.render());
+                out.push_str("\n== model fit (Eq. 1) ==\n");
+                match modelfit::fit(&modelfit::samples_from_metrics(&res.metrics)) {
+                    Some(f) => out.push_str(&f.render()),
+                    None => out.push_str("(no active samples to fit)\n"),
+                }
+                return Ok(out);
             }
             let mut out = describe("traced run", &res);
             out.push_str(&verify(&res)?);

@@ -60,6 +60,38 @@ fn compare_declares_a_winner() {
 }
 
 #[test]
+fn analyze_prints_the_full_diagnosis() {
+    let out = cli()
+        .args(["analyze", "--m", "262144", "--n", "32", "--sites", "2", "--bins", "16"])
+        .output()
+        .expect("run cli");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for section in [
+        "wait states reconcile",
+        "== wait states ==",
+        "== link utilization ==",
+        "== communication matrix ==",
+        "== model fit (Eq. 1) ==",
+        "relative residual",
+    ] {
+        assert!(text.contains(section), "missing {section:?} in:\n{text}");
+    }
+}
+
+#[test]
+fn analyze_scalapack_classifies_waits() {
+    let out = cli()
+        .args(["analyze", "--m", "65536", "--n", "16", "--sites", "4", "--algo", "scalapack"])
+        .output()
+        .expect("run cli");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("TOTAL"), "{text}");
+    assert!(text.contains("worst waiting ranks"), "{text}");
+}
+
+#[test]
 fn bad_input_exits_nonzero_with_usage() {
     for args in [vec!["bogus"], vec!["tsqr", "--sites", "9"], vec!["tsqr", "--m", "zzz"]] {
         let out = cli().args(&args).output().expect("run cli");
