@@ -1,5 +1,6 @@
 //! The perf-regression gate: measures every registered headline point
-//! (Figs. 4–8) and diffs the records against a committed baseline.
+//! (Figs. 4–8, plus the WAN-degradation scenarios of the fault
+//! injector) and diffs the records against a committed baseline.
 //!
 //! Usage (normally driven by `scripts/bench_check.sh`):
 //!
@@ -19,7 +20,8 @@
 use std::process::ExitCode;
 
 use tsqr_bench::figures::{
-    all_figures, bench_records, compare_records, parse_records, records_json,
+    all_figures, bench_records, compare_records, fault_bench_records, parse_records,
+    records_json,
 };
 
 fn usage() -> ! {
@@ -69,6 +71,14 @@ fn main() -> ExitCode {
             );
             measured.push(rec);
         }
+    }
+    eprintln!("# measuring WAN-degradation scenarios (fault injector)...");
+    for rec in fault_bench_records() {
+        eprintln!(
+            "#   {:<16} makespan {:>10.4} s  {:>7.1} Gflop/s  {:>6} WAN msgs  residual {:.2e}",
+            rec.id, rec.makespan_s, rec.gflops, rec.wan_msgs, rec.model_residual
+        );
+        measured.push(rec);
     }
     let doc = records_json(&measured);
 

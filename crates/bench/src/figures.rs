@@ -23,6 +23,7 @@ use std::fmt::Write as _;
 use tsqr_core::experiment::{run_experiment, Algorithm, Experiment, Mode};
 use tsqr_core::modelfit;
 use tsqr_core::tree::TreeShape;
+use tsqr_netsim::{FailureSchedule, VirtualTime};
 
 use crate::calib;
 use crate::harness::grid_runtime;
@@ -139,17 +140,35 @@ pub struct BenchRecord {
 /// registry to 1e-9 — so every bench run doubles as an integration test
 /// of the diagnostics.
 pub fn measure_point(point: &FigurePoint) -> BenchRecord {
-    let mut rt = grid_runtime(point.sites);
+    measure_on(&point.id(), point.sites, point.m, point.n, point.algorithm, None)
+}
+
+/// Shared measurement core of [`measure_point`] and
+/// [`measure_fault_point`]: runs one traced configuration (optionally
+/// under a failure schedule) and distills it into a [`BenchRecord`],
+/// asserting the critical-path and wait-state invariants along the way.
+fn measure_on(
+    id: &str,
+    sites: usize,
+    m: u64,
+    n: usize,
+    algorithm: Algorithm,
+    schedule: Option<FailureSchedule>,
+) -> BenchRecord {
+    let mut rt = grid_runtime(sites);
+    if let Some(s) = schedule {
+        rt.set_failure_schedule(s);
+    }
     rt.enable_tracing();
     let res = run_experiment(
         &rt,
         &Experiment {
-            m: point.m,
-            n: point.n,
-            algorithm: point.algorithm,
+            m,
+            n,
+            algorithm,
             compute_q: false,
             mode: Mode::Symbolic,
-            rate_flops: Some(calib::kernel_rate_flops(point.n)),
+            rate_flops: Some(calib::kernel_rate_flops(n)),
             combine_rate_flops: Some(calib::combine_rate_flops()),
         },
     );
@@ -158,8 +177,7 @@ pub fn measure_point(point: &FigurePoint) -> BenchRecord {
     assert!(
         (cp.total().secs() - res.makespan.secs()).abs()
             <= 1e-9 * res.makespan.secs().max(1.0),
-        "critical path must tile the makespan ({})",
-        point.id()
+        "critical path must tile the makespan ({id})"
     );
     let cps = cp.summary();
     let diag = trace.diagnose(rt.topology().num_procs(), 64);
@@ -170,15 +188,14 @@ pub fn measure_point(point: &FigurePoint) -> BenchRecord {
     let wait_scale = diag.total().total_wait_s().max(1.0);
     assert!(
         drift <= 1e-9 * wait_scale,
-        "wait states must reconcile with recv_wait_s ({}: drift {drift})",
-        point.id()
+        "wait states must reconcile with recv_wait_s ({id}: drift {drift})"
     );
     let fit = modelfit::fit(&modelfit::samples_from_metrics(&res.metrics));
     BenchRecord {
-        id: point.id(),
-        sites: point.sites,
-        m: point.m,
-        n: point.n,
+        id: id.to_string(),
+        sites,
+        m,
+        n,
         makespan_s: res.makespan.secs(),
         gflops: res.gflops,
         msgs: res.totals.total_msgs(),
@@ -195,6 +212,114 @@ pub fn measure_point(point: &FigurePoint) -> BenchRecord {
 /// Measures every headline point of one figure.
 pub fn bench_records(figure: &str) -> Vec<BenchRecord> {
     figure_points(figure).iter().map(measure_point).collect()
+}
+
+/// One WAN-degradation scenario of the fault bench: a headline
+/// configuration re-run with every inter-cluster link degraded for a
+/// window of virtual time ([`tsqr_netsim::FailureSchedule::degrade_all_wan`]).
+///
+/// Degradation changes link *pricing*, never routing, so the message /
+/// byte / WAN counts of a scenario must equal its failure-free twin —
+/// `fault_degradation` asserts exactly that, and the perf gate pins the
+/// slowed makespans the same way it pins Figs. 4–8.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPoint {
+    /// Distinguishes scenarios (`"wan-10x"`); the record id is
+    /// `faults/<label>`.
+    pub label: &'static str,
+    /// Number of Grid'5000 sites.
+    pub sites: usize,
+    /// Rows.
+    pub m: u64,
+    /// Columns.
+    pub n: usize,
+    /// The algorithm under test.
+    pub algorithm: Algorithm,
+    /// Degradation window `[from, until)`, virtual seconds.
+    pub window_s: (f64, f64),
+    /// Latency multiplier applied to every WAN link in the window.
+    pub latency_factor: f64,
+    /// Bandwidth divisor applied to every WAN link in the window.
+    pub bandwidth_divisor: f64,
+}
+
+impl FaultPoint {
+    /// Stable identifier used in `BENCH_results.json` (`"faults/wan-10x"`).
+    pub fn id(&self) -> String {
+        format!("faults/{}", self.label)
+    }
+
+    /// The injected schedule: every WAN link degraded in the window.
+    pub fn schedule(&self) -> FailureSchedule {
+        FailureSchedule::new(0).degrade_all_wan(
+            VirtualTime::from_secs(self.window_s.0),
+            VirtualTime::from_secs(self.window_s.1),
+            self.latency_factor,
+            self.bandwidth_divisor,
+        )
+    }
+}
+
+/// The registered WAN-degradation scenarios, all on the 4-site grid at
+/// Fig. 5's headline configuration (`M = 2²⁰, N = 64`, TSQR with 64
+/// domains per cluster).
+pub fn fault_points() -> Vec<FaultPoint> {
+    let p = |label, window_s, latency_factor, bandwidth_divisor| FaultPoint {
+        label,
+        sites: 4,
+        m: 1_048_576,
+        n: 64,
+        algorithm: TSQR64,
+        window_s,
+        latency_factor,
+        bandwidth_divisor,
+    };
+    vec![
+        // The whole run under a 10×-latency, 10×-less-bandwidth WAN —
+        // the "bad day on the backbone" bound.
+        p("wan-10x", (0.0, 60.0), 10.0, 10.0),
+        // A transient 4×/4× brown-out covering the reduction's WAN phase
+        // only; the run mostly rides it out.
+        p("wan-brownout", (0.05, 0.25), 4.0, 4.0),
+        // Pure latency inflation (congested but not saturated links):
+        // the TSQR makespan moves by ~the extra round trips, a direct
+        // probe of the paper's latency-dominated WAN term in Eq. (1).
+        p("wan-latency-5x", (0.0, 60.0), 5.0, 1.0),
+    ]
+}
+
+/// Runs one degradation scenario traced and distills it into a
+/// [`BenchRecord`] (same invariants as [`measure_point`]).
+pub fn measure_fault_point(point: &FaultPoint) -> BenchRecord {
+    measure_on(
+        &point.id(),
+        point.sites,
+        point.m,
+        point.n,
+        point.algorithm,
+        Some(point.schedule()),
+    )
+}
+
+/// Runs the *failure-free twin* of a degradation scenario (same
+/// configuration, empty schedule); the record id gets a `-clean` suffix
+/// so it can sit next to the degraded one without colliding. Not part of
+/// the gate — `fault_degradation` uses it to assert the invariants
+/// (identical traffic, slower clock).
+pub fn measure_fault_clean(point: &FaultPoint) -> BenchRecord {
+    measure_on(
+        &format!("{}-clean", point.id()),
+        point.sites,
+        point.m,
+        point.n,
+        point.algorithm,
+        None,
+    )
+}
+
+/// Measures every registered degradation scenario.
+pub fn fault_bench_records() -> Vec<BenchRecord> {
+    fault_points().iter().map(measure_fault_point).collect()
 }
 
 /// Serializes records as the `BENCH_results.json` document (schema
@@ -396,6 +521,48 @@ mod tests {
         // Missing and extra records are both flagged.
         let fails = compare_records(&base, &[rec("fig9/x", 1, 1.0)], 1e-9);
         assert_eq!(fails.len(), 2);
+    }
+
+    #[test]
+    fn fault_registry_scenarios_are_well_formed() {
+        let pts = fault_points();
+        assert!(!pts.is_empty());
+        for p in &pts {
+            assert!(p.id().starts_with("faults/"));
+            assert!(p.window_s.0 < p.window_s.1);
+            assert!(p.latency_factor >= 1.0 && p.bandwidth_divisor >= 1.0);
+            assert!(p.latency_factor > 1.0 || p.bandwidth_divisor > 1.0);
+            let _ = p.schedule(); // builder asserts its own invariants
+        }
+        let mut ids: Vec<String> = pts.iter().map(FaultPoint::id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), pts.len(), "scenario ids must be unique");
+    }
+
+    #[test]
+    fn degraded_scenario_keeps_traffic_and_slows_the_clock() {
+        // A down-scaled twin of the registered scenarios: cheap enough
+        // for unit tests, same invariants.
+        let p = FaultPoint {
+            label: "test",
+            sites: 2,
+            m: 1 << 17,
+            n: 64,
+            algorithm: TSQR64,
+            window_s: (0.0, 60.0),
+            latency_factor: 10.0,
+            bandwidth_divisor: 10.0,
+        };
+        let clean = measure_fault_clean(&p);
+        let slow = measure_fault_point(&p);
+        assert_eq!(clean.id, "faults/test-clean");
+        assert_eq!(slow.id, "faults/test");
+        assert_eq!(
+            (clean.msgs, clean.wan_msgs, clean.bytes),
+            (slow.msgs, slow.wan_msgs, slow.bytes),
+            "degradation must not change routing"
+        );
+        assert!(slow.makespan_s > clean.makespan_s, "degradation must slow the run");
     }
 
     #[test]

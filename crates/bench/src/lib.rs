@@ -20,6 +20,7 @@
 //! | `ablation_blocking` | §II-B: NB/NX blocking machinery of PDGEQRF          |
 //! | `ablation_wan_congestion` | the Fig. 4 deviation, closed               |
 //! | `caqr_scaling`      | §VI: the "CAQR should scale" experiment             |
+//! | `fault_degradation` | WAN-degradation scenarios of the fault injector     |
 //! | `desktop_grid`      | §II-E future work: the internet-scale regime        |
 //! | `eq1_validation`    | §IV: Eq. (1) vs the simulation, per configuration   |
 //!
@@ -43,8 +44,9 @@ pub mod harness;
 pub mod json;
 
 pub use figures::{
-    all_figures, bench_records, compare_records, figure_points, measure_point,
-    parse_records, records_json, BenchRecord, FigurePoint,
+    all_figures, bench_records, compare_records, fault_bench_records, fault_points,
+    figure_points, measure_fault_clean, measure_fault_point, measure_point,
+    parse_records, records_json, BenchRecord, FaultPoint, FigurePoint,
 };
 pub use harness::{
     domain_options, dump_traced_point, grid_runtime, paper_m_values, print_series_table,

@@ -22,6 +22,11 @@
 //!   per column, plus its symbolic twin.
 //! * [`tsqr`] — QCG-TSQR itself: local/grouped leaf factorizations, packed
 //!   R factors reduced over the tree, optional explicit-Q down-sweep.
+//! * [`ft_tsqr`] — the **self-healing** variant: under an injected
+//!   [`tsqr_netsim::FailureSchedule`] it survives rank crashes and lost
+//!   messages (subtree rebuild, cached-R salvage, agent re-election) and
+//!   still produces the failure-free R bit for bit
+//!   (`docs/fault-injection.md`).
 //! * [`caqr`] — the general-matrix extension (tiled flat-tree CAQR,
 //!   single process) and [`caqr_dist`] — distributed CAQR over the grid,
 //!   the experiment §VI says "we will need to perform".
@@ -79,6 +84,7 @@ pub mod cholqr;
 pub mod domains;
 pub mod eigsolve;
 pub mod experiment;
+pub mod ft_tsqr;
 pub mod lstsq;
 pub mod model;
 pub mod modelfit;
@@ -90,6 +96,7 @@ pub mod tsqr;
 pub mod workload;
 
 pub use domains::DomainLayout;
+pub use ft_tsqr::{ft_tsqr_rank_program, FtMsg, FtTsqrOutput};
 pub use modelfit::{fit as fit_model, samples_from_metrics, ModelFit, Sample};
 pub use experiment::{run_experiment, Algorithm, Experiment, ExperimentResult, Mode};
 pub use tree::{ReductionTree, TreeShape};

@@ -137,6 +137,18 @@ fn slice_json(e: &Event) -> String {
             "phase".to_string(),
             String::new(),
         ),
+        // Failure events: waits (detector deadlines, ghost arrivals) go
+        // on the wait track; sender-side drops and degradation markers
+        // on the work track. All share the "fault" category so Perfetto
+        // can color them.
+        EventKind::Fault { peer, class, kind } => (
+            if kind.is_wait() { 2 * e.rank + 1 } else { 2 * e.rank },
+            format!("fault:{}\u{2194}{peer}", kind.label()),
+            "fault".to_string(),
+            format!("\"peer\":{peer},\"kind\":{},\"link\":{}",
+                json_string(kind.label()),
+                json_string(class.label())),
+        ),
     };
     let mut args = args;
     if let Some(p) = e.phase {

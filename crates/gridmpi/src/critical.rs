@@ -312,6 +312,29 @@ impl Trace {
                     });
                     t = e.start;
                 }
+                EventKind::Fault { peer, class, kind } => {
+                    if kind.is_wait() {
+                        // A failure-induced wait (peer death / ghost
+                        // arrival): a receive wait with no matching send
+                        // to follow backward.
+                        segments.push(Segment {
+                            rank,
+                            start: e.start,
+                            end: t,
+                            kind: SegmentKind::Recv { from: peer },
+                        });
+                    } else {
+                        // A dropped transmission (incl. backoff): wire
+                        // time paid on the sender, like a send.
+                        segments.push(Segment {
+                            rank,
+                            start: e.start,
+                            end: t,
+                            kind: SegmentKind::Send { to: peer, class },
+                        });
+                    }
+                    t = e.start;
+                }
                 EventKind::Phase { .. } => unreachable!("phase events were filtered out"),
             }
         }

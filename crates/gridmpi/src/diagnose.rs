@@ -8,12 +8,16 @@
 //! [`tsqr_netsim::occupancy`]:
 //!
 //! * [`WaitBreakdown`] — each receive's blocked span is split into
-//!   *late-sender*, *imbalance*, *propagated*, *delivery* and *unmatched*
-//!   seconds (see the variants of [`WaitState`]). The five classes
-//!   **partition** the blocked time, so their sum reconciles with the
-//!   registry's `recv_wait_s` per rank and per phase —
-//!   [`Diagnosis::reconcile`] checks that and the test suite asserts it
-//!   to 1e-9.
+//!   *late-sender*, *imbalance*, *propagated*, *delivery*, *unmatched*
+//!   and *failure-induced* seconds (see the variants of [`WaitState`]).
+//!   The six classes **partition** the blocked time, so their sum
+//!   reconciles with the registry's `recv_wait_s` per rank and per
+//!   phase — [`Diagnosis::reconcile`] checks that and the test suite
+//!   asserts it to 1e-9. Failure-induced waits (peer deaths detected by
+//!   the virtual-time failure detector, ghost arrivals of dropped
+//!   messages — see `docs/fault-injection.md`) come from
+//!   [`EventKind::Fault`] spans whose kind is a wait
+//!   ([`crate::trace::FaultKind::is_wait`]).
 //! * [`Diagnosis`] — the full report for one traced run: per-rank and
 //!   per-phase wait breakdowns, per-link-class usage and a binned
 //!   utilization timeline, and the rank×rank communication matrix. This
@@ -53,9 +57,14 @@ pub enum WaitState {
     /// The receive never matched a send in the trace (only possible in
     /// truncated or failing runs).
     Unmatched,
+    /// The receiver was blocked by an injected failure: waiting out the
+    /// failure detector's deadline on a dead peer, or clocking in the
+    /// ghost of a message the failure schedule dropped. Fed by
+    /// [`EventKind::Fault`] wait spans (see `docs/fault-injection.md`).
+    FailureInduced,
 }
 
-/// Classified blocked-receive seconds. The five wait classes partition
+/// Classified blocked-receive seconds. The six wait classes partition
 /// the registry's `recv_wait_s`; `late_receiver_s` is informational
 /// (time *messages* sat in the receiver's buffer, i.e. the mirror-image
 /// Late Receiver pattern — it overlaps the receiver's useful work, so it
@@ -72,6 +81,10 @@ pub struct WaitBreakdown {
     pub delivery_s: f64,
     /// Seconds in receives with no matching send ([`WaitState::Unmatched`]).
     pub unmatched_s: f64,
+    /// Seconds blocked by injected failures — detector deadlines on dead
+    /// peers and ghost arrivals of dropped messages
+    /// ([`WaitState::FailureInduced`]).
+    pub failure_s: f64,
     /// Seconds sent messages sat in this rank's buffer before it asked
     /// for them (Late Receiver; informational, overlaps other work).
     pub late_receiver_s: f64,
@@ -80,7 +93,7 @@ pub struct WaitBreakdown {
 }
 
 impl WaitBreakdown {
-    /// Sum of the five wait classes — reconciles with the metrics
+    /// Sum of the six wait classes — reconciles with the metrics
     /// registry's `recv_wait_s` for the same rank/phase.
     pub fn total_wait_s(&self) -> f64 {
         self.late_sender_s
@@ -88,6 +101,7 @@ impl WaitBreakdown {
             + self.propagated_s
             + self.delivery_s
             + self.unmatched_s
+            + self.failure_s
     }
 
     /// Element-wise sum.
@@ -97,6 +111,7 @@ impl WaitBreakdown {
         self.propagated_s += other.propagated_s;
         self.delivery_s += other.delivery_s;
         self.unmatched_s += other.unmatched_s;
+        self.failure_s += other.failure_s;
         self.late_receiver_s += other.late_receiver_s;
         self.recvs += other.recvs;
     }
@@ -108,6 +123,7 @@ impl WaitBreakdown {
             WaitState::Propagated => self.propagated_s += secs,
             WaitState::Delivery => self.delivery_s += secs,
             WaitState::Unmatched => self.unmatched_s += secs,
+            WaitState::FailureInduced => self.failure_s += secs,
         }
     }
 }
@@ -280,13 +296,14 @@ impl Diagnosis {
         let _ = writeln!(out, "== wait states ==");
         let _ = writeln!(
             out,
-            "{:<16} {:>10} {:>10} {:>10} {:>10} {:>10} {:>11} {:>10}",
+            "{:<16} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>11} {:>10}",
             "phase",
             "late-snd s",
             "imbal s",
             "propag s",
             "deliver s",
             "unmatch s",
+            "failure s",
             "total-wait",
             "late-rcv s"
         );
@@ -296,13 +313,14 @@ impl Diagnosis {
         for (p, b) in rows {
             let _ = writeln!(
                 out,
-                "{:<16} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>11.4} {:>10.4}",
+                "{:<16} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>11.4} {:>10.4}",
                 p,
                 b.late_sender_s,
                 b.imbalance_s,
                 b.propagated_s,
                 b.delivery_s,
                 b.unmatched_s,
+                b.failure_s,
                 b.total_wait_s(),
                 b.late_receiver_s,
             );
@@ -311,12 +329,13 @@ impl Diagnosis {
         for (rank, b) in self.worst_ranks(8) {
             let _ = writeln!(
                 out,
-                "  rank {rank:<4} waited {:>10.4} s  (late-sender {:.4}, imbalance {:.4}, propagated {:.4}, delivery {:.4})",
+                "  rank {rank:<4} waited {:>10.4} s  (late-sender {:.4}, imbalance {:.4}, propagated {:.4}, delivery {:.4}, failure {:.4})",
                 b.total_wait_s(),
                 b.late_sender_s,
                 b.imbalance_s,
                 b.propagated_s,
                 b.delivery_s,
+                b.failure_s,
             );
         }
         let _ = writeln!(out, "\n== link utilization ==");
@@ -365,6 +384,11 @@ impl Trace {
                 EventKind::Send { .. } => Activity::Sending,
                 EventKind::Recv { .. } => Activity::Receiving,
                 EventKind::Compute { .. } => Activity::Computing,
+                // A failure wait is "blocked"; a dropped transmission is
+                // still pushing bytes. Zero-width degradation markers
+                // never cover an instant either way.
+                EventKind::Fault { kind, .. } if kind.is_wait() => Activity::Receiving,
+                EventKind::Fault { .. } => Activity::Sending,
                 EventKind::Phase { .. } => continue,
             };
             spans
@@ -390,6 +414,22 @@ impl Trace {
         };
 
         for (i, e) in self.events.iter().enumerate() {
+            // Failure-induced waits: receiver-side Fault spans (detector
+            // deadlines, ghost arrivals). Their metrics-side counterpart
+            // is the `record_recv` the runtime issued for the same span,
+            // so they join the partition of `recv_wait_s`. Sender-side
+            // Fault spans (dropped transmissions) are backed by
+            // `record_send` and deliberately stay out.
+            if let EventKind::Fault { kind, .. } = e.kind {
+                if kind.is_wait() && e.rank < num_ranks {
+                    let mut b = WaitBreakdown { recvs: 1, ..WaitBreakdown::default() };
+                    b.add(WaitState::FailureInduced, (e.end - e.start).secs());
+                    let pi = phase_mut(e.phase.unwrap_or(UNPHASED), &mut per_phase);
+                    per_phase[pi].1.merge(&b);
+                    per_rank[e.rank].merge(&b);
+                }
+                continue;
+            }
             let EventKind::Recv { from, .. } = e.kind else { continue };
             if e.rank >= num_ranks {
                 continue;
@@ -598,6 +638,23 @@ mod tests {
         bad.record_recv(Some("tree-reduce"), C, 64, 1.0);
         let drift = d.reconcile(&[MetricsRegistry::default(), bad]);
         assert!(drift > 1.9, "drift {drift}");
+    }
+
+    #[test]
+    fn failure_waits_are_their_own_class() {
+        use crate::trace::FaultKind;
+        // A detector wait on a dead peer is failure-induced; a dropped
+        // transmission (sender side) and a zero-width degradation marker
+        // are not part of the receiver wait partition.
+        let t = Trace::from_parts(vec![
+            ev(0, 0.0, 2.0, EventKind::Fault { peer: 3, class: C, kind: FaultKind::RankFailed }),
+            ev(0, 2.0, 2.0, EventKind::Fault { peer: 1, class: C, kind: FaultKind::LinkDegraded }),
+            ev(0, 2.0, 3.0, EventKind::Fault { peer: 1, class: C, kind: FaultKind::DropSent }),
+        ]);
+        let d = t.diagnose(1, 4);
+        assert!((d.per_rank[0].failure_s - 2.0).abs() < 1e-12, "{:?}", d.per_rank[0]);
+        assert!((d.total().total_wait_s() - 2.0).abs() < 1e-12);
+        assert!(d.render().contains("failure s"));
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use tsqr_netsim::VirtualTime;
+
 /// Errors surfaced by the message-passing layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CommError {
@@ -11,6 +13,26 @@ pub enum CommError {
         src: usize,
         /// Receiving rank.
         dst: usize,
+    },
+    /// A rank crashed per the failure schedule. Surfaced both *by* the
+    /// crashed rank (every operation it attempts at or after its crash
+    /// time fails with its own rank) and *about* it (a peer's failure
+    /// detector declares it dead — see `docs/fault-injection.md`).
+    RankFailed {
+        /// The rank that crashed.
+        rank: usize,
+        /// Virtual time of the crash.
+        at: VirtualTime,
+    },
+    /// A message was lost in transit (transient drop from the failure
+    /// schedule) and the bounded retransmission budget was exhausted.
+    MessageDropped {
+        /// Sending rank.
+        src: usize,
+        /// Receiving rank.
+        dst: usize,
+        /// Transmission attempts made before giving up.
+        attempts: u32,
     },
     /// A receive waited past the wall-clock safety timeout — almost always
     /// a deadlocked or crashed peer in a test program.
@@ -47,6 +69,15 @@ impl fmt::Display for CommError {
         match self {
             CommError::LinkDown { src, dst } => {
                 write!(f, "link {src} -> {dst} is down")
+            }
+            CommError::RankFailed { rank, at } => {
+                write!(f, "rank {rank} crashed at t={:.6}s", at.secs())
+            }
+            CommError::MessageDropped { src, dst, attempts } => {
+                write!(
+                    f,
+                    "message {src} -> {dst} lost in transit ({attempts} attempts)"
+                )
             }
             CommError::Timeout { rank, from } => {
                 write!(f, "rank {rank} timed out waiting for a message from {from}")

@@ -63,6 +63,9 @@ pub use diagnose::{Diagnosis, WaitBreakdown, WaitState};
 pub use error::CommError;
 pub use message::WirePayload;
 pub use metrics::{Histogram, MetricsRegistry, PhaseCounters};
-pub use process::{Process, RankStats, TrafficCounters};
-pub use runtime::{RankResult, RunReport, Runtime};
-pub use trace::{Event, EventKind, MessageMatch, Trace};
+pub use process::{
+    Process, RankStats, TrafficCounters, DEFAULT_RECV_TIMEOUT, DETECTION_LATENCY_FACTOR,
+    MAX_SEND_ATTEMPTS,
+};
+pub use runtime::{RankResult, RunOutcome, RunReport, Runtime};
+pub use trace::{Event, EventKind, FaultKind, MessageMatch, Trace};

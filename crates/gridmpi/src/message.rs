@@ -84,6 +84,37 @@ impl WirePayload for Phantom {
     }
 }
 
+/// What an envelope carries: ordinary data or a failure notification.
+///
+/// Tombstones (`Crash` / `Abort`) are *control* envelopes: they are never
+/// matched against a `recv`, carry no payload cost, and exist so that a
+/// peer's death propagates in **virtual** time (through the channel, FIFO
+/// after the dead rank's last real message) instead of being guessed from
+/// the wall clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum EnvelopeKind {
+    /// An ordinary payload-carrying message. `dropped` marks a message
+    /// the failure schedule lost in transit: it still travels (so the
+    /// receiver learns of the loss at the deterministic would-be arrival
+    /// time) but the receiver gets an error instead of the payload.
+    Data {
+        /// True when the failure schedule dropped this transmission.
+        dropped: bool,
+    },
+    /// The sender crashed (per the failure schedule) at the given
+    /// virtual time.
+    Crash {
+        /// Virtual time of the crash.
+        at: VirtualTime,
+    },
+    /// The sender's rank program returned an error at the given virtual
+    /// time and will never send again.
+    Abort {
+        /// Virtual time at which the program gave up.
+        at: VirtualTime,
+    },
+}
+
 /// The envelope a message travels in.
 pub(crate) struct Envelope {
     /// Sending rank (global).
@@ -95,8 +126,21 @@ pub(crate) struct Envelope {
     pub arrival: VirtualTime,
     /// Payload size on the wire (for receiver-side NIC serialization).
     pub bytes: u64,
+    /// Data or failure notification.
+    pub kind: EnvelopeKind,
     /// The boxed payload (downcast on receive).
     pub payload: Box<dyn Any + Send>,
+}
+
+impl Envelope {
+    /// A control envelope announcing the sender's death.
+    pub(crate) fn tombstone(src: usize, kind: EnvelopeKind) -> Envelope {
+        let arrival = match kind {
+            EnvelopeKind::Crash { at } | EnvelopeKind::Abort { at } => at,
+            EnvelopeKind::Data { .. } => unreachable!("tombstones carry no data"),
+        };
+        Envelope { src, tag: 0, arrival, bytes: 0, kind, payload: Box::new(()) }
+    }
 }
 
 #[cfg(test)]

@@ -1,23 +1,68 @@
 //! The per-rank handle: point-to-point messaging, virtual clock, counters.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
-use tsqr_netsim::{CostModel, GridTopology, LinkClass, ProcLocation, VirtualTime};
+use tsqr_netsim::{
+    CostModel, FailureSchedule, GridTopology, LinkClass, ProcLocation, VirtualTime,
+};
 
 use crate::error::CommError;
-use crate::message::{Envelope, WirePayload};
+use crate::message::{Envelope, EnvelopeKind, WirePayload};
 use crate::metrics::MetricsRegistry;
-use crate::trace::{Event, EventKind, Recorder};
+use crate::trace::{Event, EventKind, FaultKind, Recorder};
 
-/// Default wall-clock safety net for receives: a rank waiting longer than
-/// this on a real channel is considered deadlocked (peer crashed or
-/// protocol bug). Override per runtime with
-/// [`crate::Runtime::set_recv_timeout`].
+/// Default **wall-clock** safety net for receives.
+///
+/// Two clocks exist in this simulator and must not be confused (see
+/// `docs/fault-injection.md`):
+///
+/// * the **virtual** clock prices everything (Eq. (1)) and drives the
+///   failure detector — a peer's death is *detected* at
+///   `crash time + `[`Process::failure_deadline`], a per-link-class
+///   deadline derived from the cost model;
+/// * the **wall** clock only guards the simulator itself: a rank blocked
+///   longer than this real-time duration on an OS channel is assumed
+///   deadlocked (protocol bug, or a peer that terminated without a
+///   tombstone). It never influences virtual time or determinism.
+///
+/// Override per runtime with [`crate::Runtime::set_recv_timeout`] or the
+/// `grid-tsqr --recv-timeout` CLI flag.
 pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Failure-detector slack: a silent peer is declared dead this many
+/// zero-payload one-way message times (of the link class between the two
+/// ranks) after its last sign of life. WAN partners therefore get
+/// proportionally more virtual-time grace than intra-node ones, exactly
+/// as a latency-scaled MPI heartbeat timeout would.
+pub const DETECTION_LATENCY_FACTOR: f64 = 4.0;
+
+/// Bounded retransmission budget for transient message drops: a send
+/// whose transmissions are all lost gives up after this many attempts
+/// and surfaces [`CommError::MessageDropped`]. Between attempts the
+/// sender backs off `2^(attempt-1)` link latencies.
+pub const MAX_SEND_ATTEMPTS: u32 = 4;
+
+/// How a peer is known to have stopped (crate-internal bookkeeping fed
+/// by tombstone envelopes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Death {
+    /// Crashed per the failure schedule at the given virtual time.
+    Crash(VirtualTime),
+    /// Rank program returned an error at the given virtual time.
+    Abort(VirtualTime),
+}
+
+impl Death {
+    fn at(self) -> VirtualTime {
+        match self {
+            Death::Crash(t) | Death::Abort(t) => t,
+        }
+    }
+}
 
 /// Per-rank traffic counters, bucketed by [`LinkClass::bucket`]
 /// (0 = intra-node, 1 = intra-cluster, 2 = inter-cluster).
@@ -77,7 +122,17 @@ pub struct Process {
     pub(crate) size: usize,
     pub(crate) topo: Arc<GridTopology>,
     pub(crate) model: Arc<CostModel>,
-    pub(crate) failed_links: Arc<HashSet<(usize, usize)>>,
+    /// The failure script in force (empty by default).
+    pub(crate) schedule: Arc<FailureSchedule>,
+    /// This rank's scheduled crash time, if any (cached from `schedule`).
+    pub(crate) crash_at: Option<VirtualTime>,
+    /// True once this rank broadcast its own death (crash or abort).
+    pub(crate) death_announced: bool,
+    /// Peers known dead, with how and when (fed by tombstones).
+    pub(crate) dead: HashMap<usize, Death>,
+    /// Per-destination transmission sequence numbers (indexes the
+    /// schedule's drop rules).
+    pub(crate) sent_seq: Vec<u64>,
     pub(crate) senders: Vec<Sender<Envelope>>,
     pub(crate) inbox: Receiver<Envelope>,
     /// Messages that arrived while waiting for a different source.
@@ -233,7 +288,112 @@ impl Process {
 
     /// True unless a failure was injected on the `self → dst` link.
     pub fn link_ok(&self, dst: usize) -> bool {
-        !self.failed_links.contains(&(self.rank, dst))
+        !self.schedule.link_down(self.rank, dst)
+    }
+
+    /// The failure schedule in force (empty by default).
+    pub fn failure_schedule(&self) -> &FailureSchedule {
+        &self.schedule
+    }
+
+    /// True when `peer` is known dead (its tombstone was observed).
+    pub fn is_dead(&self, peer: usize) -> bool {
+        self.dead.contains_key(&peer)
+    }
+
+    /// All peers currently known dead, ascending.
+    pub fn known_dead(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.dead.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The virtual-time failure-detection deadline for `peer`: a silent
+    /// peer is declared dead [`DETECTION_LATENCY_FACTOR`] zero-payload
+    /// one-way message times (Eq. (1), per the link class between the
+    /// two ranks) after its crash instant. Derived from the cost model —
+    /// **not** a wall-clock guess; the wall-clock
+    /// [`crate::Runtime::set_recv_timeout`] remains only a simulator
+    /// deadlock net.
+    pub fn failure_deadline(&self, peer: usize) -> VirtualTime {
+        let from = self.topo.location(peer);
+        let one_way = self.model.message_time(from, self.location(), 0);
+        VirtualTime::from_secs(one_way.secs() * DETECTION_LATENCY_FACTOR)
+    }
+
+    /// Fails with [`CommError::RankFailed`] once this rank's own
+    /// scheduled crash time has passed, broadcasting its tombstone to
+    /// every peer the first time.
+    fn check_alive(&mut self) -> Result<(), CommError> {
+        let Some(at) = self.crash_at else { return Ok(()) };
+        if self.clock < at {
+            return Ok(());
+        }
+        self.announce_death(EnvelopeKind::Crash { at });
+        Err(CommError::RankFailed { rank: self.rank, at })
+    }
+
+    /// Broadcasts a tombstone to every peer (idempotent).
+    pub(crate) fn announce_death(&mut self, kind: EnvelopeKind) {
+        if self.death_announced {
+            return;
+        }
+        self.death_announced = true;
+        for dst in 0..self.size {
+            if dst != self.rank {
+                // A peer that already returned has dropped its inbox;
+                // nothing left to notify.
+                let _ = self.senders[dst].send(Envelope::tombstone(self.rank, kind));
+            }
+        }
+    }
+
+    /// Tombstone broadcast for a rank program that returned an error
+    /// (called by the runtime so peers fail fast in virtual time instead
+    /// of hitting the wall-clock net).
+    pub(crate) fn announce_abort(&mut self) {
+        self.announce_death(EnvelopeKind::Abort { at: self.clock });
+    }
+
+    /// Consumes a tombstone while waiting on `peer`: advances the clock
+    /// to the virtual-time detection instant, records the
+    /// failure-induced wait into metrics (`recv_wait_s`) and the trace
+    /// (an [`EventKind::Fault`] span), and returns the typed error.
+    fn observe_death(&mut self, peer: usize, death: Death, wait_start: VirtualTime) -> CommError {
+        let (fault, err) = match death {
+            Death::Crash(at) => (
+                FaultKind::RankFailed,
+                CommError::RankFailed { rank: peer, at },
+            ),
+            Death::Abort(_) => (
+                FaultKind::PeerAborted,
+                CommError::PeerGone { rank: self.rank, from: peer },
+            ),
+        };
+        let from = self.topo.location(peer);
+        let class = LinkClass::between(from, self.location());
+        self.clock = self.clock.max(death.at() + self.failure_deadline(peer));
+        self.metrics.record_recv(
+            self.current_phase(),
+            class,
+            0,
+            (self.clock - wait_start).secs(),
+        );
+        if let Some(rec) = &mut self.recorder {
+            rec.events.push(Event {
+                rank: self.rank,
+                start: wait_start,
+                end: self.clock,
+                phase: self.phase_stack.last().map(|(n, _)| *n),
+                kind: EventKind::Fault { peer, class, kind: fault },
+            });
+        }
+        // Detecting the death may itself have pushed this rank past its
+        // own crash time.
+        if let Err(own) = self.check_alive() {
+            return own;
+        }
+        err
     }
 
     /// Blocking send of `msg` to `dst`.
@@ -243,9 +403,22 @@ impl Process {
     /// which models a rendezvous transfer whose cost lands on the critical
     /// path exactly once — the convention under which the paper counts
     /// `β·#msg + α·vol` (Eq. (1)).
+    ///
+    /// Under a failure schedule, three extra things can happen:
+    /// the sender itself may be crashed ([`CommError::RankFailed`]);
+    /// the link parameters may pass through an active degradation
+    /// window (priced via
+    /// [`tsqr_netsim::CostModel::message_time_under`], marked with a
+    /// zero-width [`FaultKind::LinkDegraded`] trace event); and the
+    /// transmission may be dropped — dropped attempts are retransmitted
+    /// with exponential backoff up to [`MAX_SEND_ATTEMPTS`], after which
+    /// the receiver is sent a *ghost* (so it learns of the loss at the
+    /// deterministic would-be arrival time) and the sender gets
+    /// [`CommError::MessageDropped`].
     pub fn send<M: WirePayload>(&mut self, dst: usize, tag: u32, msg: M) -> Result<(), CommError> {
         assert!(dst < self.size, "send to nonexistent rank {dst}");
         assert_ne!(dst, self.rank, "self-sends are a protocol bug");
+        self.check_alive()?;
         if !self.link_ok(dst) {
             return Err(CommError::LinkDown { src: self.rank, dst });
         }
@@ -253,54 +426,134 @@ impl Process {
         let from = self.location();
         let to = self.topo.location(dst);
         let class = LinkClass::between(from, to);
-        self.counters.msgs[class.bucket()] += 1;
-        self.counters.bytes[class.bucket()] += bytes;
-        let send_start = self.clock;
-        self.clock += self.model.message_time(from, to, bytes);
-        self.metrics.record_send(
-            self.current_phase(),
-            class,
-            bytes,
-            (self.clock - send_start).secs(),
-        );
-        if let Some(rec) = &mut self.recorder {
-            rec.events.push(Event {
-                rank: self.rank,
-                start: send_start,
-                end: self.clock,
-                phase: self.phase_stack.last().map(|(n, _)| *n),
-                kind: EventKind::Send { to: dst, bytes, class },
-            });
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let nth = self.sent_seq[dst];
+            self.sent_seq[dst] += 1;
+            let send_start = self.clock;
+            let degraded = self.schedule.is_degraded(class, send_start);
+            self.counters.msgs[class.bucket()] += 1;
+            self.counters.bytes[class.bucket()] += bytes;
+            self.clock +=
+                self.model.message_time_under(from, to, bytes, send_start, &self.schedule);
+            let dropped = self.schedule.should_drop(self.rank, dst, nth);
+            let arrival = self.clock;
+            if dropped && attempts < MAX_SEND_ATTEMPTS {
+                // Retransmission backoff: 2^(attempt−1) base link latencies.
+                let backoff = self.model.link(from, to).latency_s
+                    * f64::from(1u32 << (attempts - 1));
+                self.clock += VirtualTime::from_secs(backoff);
+            }
+            self.metrics.record_send(
+                self.current_phase(),
+                class,
+                bytes,
+                (self.clock - send_start).secs(),
+            );
+            if let Some(rec) = &mut self.recorder {
+                let phase = self.phase_stack.last().map(|(n, _)| *n);
+                if degraded {
+                    rec.events.push(Event {
+                        rank: self.rank,
+                        start: send_start,
+                        end: send_start,
+                        phase,
+                        kind: EventKind::Fault {
+                            peer: dst,
+                            class,
+                            kind: FaultKind::LinkDegraded,
+                        },
+                    });
+                }
+                let kind = if dropped {
+                    EventKind::Fault { peer: dst, class, kind: FaultKind::DropSent }
+                } else {
+                    EventKind::Send { to: dst, bytes, class }
+                };
+                rec.events.push(Event {
+                    rank: self.rank,
+                    start: send_start,
+                    end: self.clock,
+                    phase,
+                    kind,
+                });
+            }
+            if dropped && attempts < MAX_SEND_ATTEMPTS {
+                continue;
+            }
+            let env = Envelope {
+                src: self.rank,
+                tag,
+                arrival,
+                bytes,
+                kind: EnvelopeKind::Data { dropped },
+                payload: Box::new(msg),
+            };
+            // Unbounded channel: never blocks. A disconnected receiver means
+            // the peer thread already returned — surface that as PeerGone.
+            self.senders[dst]
+                .send(env)
+                .map_err(|_| CommError::PeerGone { rank: self.rank, from: dst })?;
+            return if dropped {
+                Err(CommError::MessageDropped { src: self.rank, dst, attempts })
+            } else {
+                Ok(())
+            };
         }
-        let env = Envelope {
-            src: self.rank,
-            tag,
-            arrival: self.clock,
-            bytes,
-            payload: Box::new(msg),
-        };
-        // Unbounded channel: never blocks. A disconnected receiver means the
-        // peer thread already returned — surface that as PeerGone.
-        self.senders[dst]
-            .send(env)
-            .map_err(|_| CommError::PeerGone { rank: self.rank, from: dst })
     }
 
     /// Blocking receive of a message from `src` with tag `tag`.
     ///
     /// Advances the clock to the message's arrival time (if later). Messages
-    /// from other sources that arrive in the meantime are buffered.
+    /// from other sources that arrive in the meantime are buffered;
+    /// tombstones (peer deaths) are recorded as they are encountered, and
+    /// a tombstone from `src` itself ends the wait at the virtual-time
+    /// detection deadline with a typed error (see
+    /// [`Process::failure_deadline`]).
     pub fn recv<M: WirePayload>(&mut self, src: usize, tag: u32) -> Result<M, CommError> {
         assert!(src < self.size, "recv from nonexistent rank {src}");
-        // Check the pending buffer first (FIFO per source).
+        self.check_alive()?;
+        // Check the pending buffer first (FIFO per source). Channel order
+        // guarantees any data `src` sent before dying was buffered before
+        // its tombstone was recorded, so data wins over the death check.
         if let Some(pos) = self.pending.iter().position(|e| e.src == src) {
             let env = self.pending.remove(pos).expect("position just found");
             return self.open::<M>(env, tag);
         }
+        if let Some(&death) = self.dead.get(&src) {
+            let now = self.clock;
+            return Err(self.observe_death(src, death, now));
+        }
+        let wait_start = self.clock;
         loop {
             match self.inbox.recv_timeout(self.recv_timeout) {
-                Ok(env) if env.src == src => return self.open::<M>(env, tag),
-                Ok(env) => self.pending.push_back(env),
+                Ok(env) => match env.kind {
+                    EnvelopeKind::Data { .. } if env.src == src => {
+                        return self.open::<M>(env, tag)
+                    }
+                    EnvelopeKind::Data { .. } => self.pending.push_back(env),
+                    EnvelopeKind::Crash { at } => {
+                        self.dead.insert(env.src, Death::Crash(at));
+                        if env.src == src {
+                            return Err(self.observe_death(
+                                src,
+                                Death::Crash(at),
+                                wait_start,
+                            ));
+                        }
+                    }
+                    EnvelopeKind::Abort { at } => {
+                        self.dead.insert(env.src, Death::Abort(at));
+                        if env.src == src {
+                            return Err(self.observe_death(
+                                src,
+                                Death::Abort(at),
+                                wait_start,
+                            ));
+                        }
+                    }
+                },
                 Err(RecvTimeoutError::Timeout) => {
                     return Err(CommError::Timeout { rank: self.rank, from: src })
                 }
@@ -355,13 +608,33 @@ impl Process {
             env.bytes,
             (self.clock - wait_start).secs(),
         );
+        // A *ghost*: the schedule lost this message in transit and the
+        // sender's retransmission budget ran out. The receiver still pays
+        // the deterministic would-be arrival wait (clock already advanced
+        // above) but gets an error instead of the payload.
+        let ghost = matches!(env.kind, EnvelopeKind::Data { dropped: true });
         if let Some(rec) = &mut self.recorder {
+            let kind = if ghost {
+                EventKind::Fault { peer: env.src, class, kind: FaultKind::DropObserved }
+            } else {
+                EventKind::Recv { from: env.src, bytes: env.bytes, class }
+            };
             rec.events.push(Event {
                 rank: self.rank,
                 start: wait_start,
                 end: self.clock,
                 phase: self.phase_stack.last().map(|(n, _)| *n),
-                kind: EventKind::Recv { from: env.src, bytes: env.bytes, class },
+                kind,
+            });
+        }
+        // Clocking the message in may have carried this rank past its own
+        // scheduled crash time: it dies *now* instead of consuming data.
+        self.check_alive()?;
+        if ghost {
+            return Err(CommError::MessageDropped {
+                src: env.src,
+                dst: self.rank,
+                attempts: MAX_SEND_ATTEMPTS,
             });
         }
         env.payload

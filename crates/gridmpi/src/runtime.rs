@@ -1,12 +1,12 @@
 //! Launching rank programs and collecting run reports.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::unbounded;
 
-use tsqr_netsim::{CostModel, GridTopology, VirtualTime};
+use tsqr_netsim::{CostModel, FailureSchedule, GridTopology, VirtualTime};
 
 use crate::comm::Communicator;
 use crate::error::CommError;
@@ -41,16 +41,109 @@ pub struct RunReport<T> {
     pub metrics: Vec<MetricsRegistry>,
 }
 
+/// Structured join of a run: who finished, who failed, and the partial
+/// observability data of both (satellite of the fault-injection work —
+/// failure is an *outcome*, not a panic; see `docs/fault-injection.md`).
+#[derive(Debug, Clone)]
+pub struct RunOutcome<T> {
+    /// `(rank, value)` for every rank whose program returned `Ok`,
+    /// ascending by rank.
+    pub survivors: Vec<(usize, T)>,
+    /// `(rank, error)` for every rank whose program returned `Err`,
+    /// ascending by rank.
+    pub failures: Vec<(usize, CommError)>,
+    /// The simulated makespan — failed ranks still advanced their clocks
+    /// up to the failure instant.
+    pub makespan: VirtualTime,
+    /// Traffic totals, including the partial work of failed ranks.
+    pub totals: TrafficCounters,
+    /// Per-rank phase metrics (indexed by rank); failed ranks keep the
+    /// metrics they accumulated before dying.
+    pub metrics: Vec<MetricsRegistry>,
+    /// The merged event trace, when tracing was enabled.
+    pub trace: Option<Trace>,
+}
+
+impl<T> RunOutcome<T> {
+    /// True when every rank program returned `Ok`.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The ranks that failed, ascending.
+    pub fn failed_ranks(&self) -> Vec<usize> {
+        self.failures.iter().map(|&(r, _)| r).collect()
+    }
+
+    /// The surviving value of `rank`, if it survived.
+    pub fn survivor(&self, rank: usize) -> Option<&T> {
+        self.survivors.iter().find(|&&(r, _)| r == rank).map(|(_, v)| v)
+    }
+
+    /// One-line human summary (`"64 ok, 1 failed: rank 37 crashed …"`).
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            format!("{} ranks ok", self.survivors.len())
+        } else {
+            let what: Vec<String> =
+                self.failures.iter().map(|(r, e)| format!("rank {r}: {e}")).collect();
+            format!(
+                "{} ok, {} failed — {}",
+                self.survivors.len(),
+                self.failures.len(),
+                what.join("; ")
+            )
+        }
+    }
+}
+
 impl<T> RunReport<T> {
-    /// Unwraps every rank's result, panicking on the first `CommError`.
+    /// Converts the report into a structured [`RunOutcome`], partitioning
+    /// ranks into survivors and failures while keeping everyone's partial
+    /// metrics, counters and trace. This is the non-panicking join —
+    /// prefer it over [`RunReport::unwrap_results`] whenever a failure
+    /// schedule is in force.
+    pub fn outcome(self) -> RunOutcome<T> {
+        let mut survivors = Vec::new();
+        let mut failures = Vec::new();
+        for (rank, rr) in self.ranks.into_iter().enumerate() {
+            match rr.result {
+                Ok(v) => survivors.push((rank, v)),
+                Err(e) => failures.push((rank, e)),
+            }
+        }
+        RunOutcome {
+            survivors,
+            failures,
+            makespan: self.makespan,
+            totals: self.totals,
+            metrics: self.metrics,
+            trace: self.trace,
+        }
+    }
+
+    /// Unwraps every rank's result.
+    ///
+    /// # Panics
+    /// Panics when any rank failed, listing **all** failed ranks with
+    /// their typed errors (not just the first). Code that expects
+    /// failures should use [`RunReport::outcome`] instead.
     pub fn unwrap_results(self) -> Vec<T> {
+        let failed: Vec<String> = self
+            .ranks
+            .iter()
+            .enumerate()
+            .filter_map(|(r, rr)| rr.result.as_ref().err().map(|e| format!("rank {r}: {e}")))
+            .collect();
+        assert!(
+            failed.is_empty(),
+            "{} rank(s) failed (use RunReport::outcome() for a structured join):\n  {}",
+            failed.len(),
+            failed.join("\n  ")
+        );
         self.ranks
             .into_iter()
-            .enumerate()
-            .map(|(r, rr)| match rr.result {
-                Ok(v) => v,
-                Err(e) => panic!("rank {r} failed: {e}"),
-            })
+            .map(|rr| rr.result.expect("checked above"))
             .collect()
     }
 
@@ -85,7 +178,7 @@ impl<T> RunReport<T> {
 pub struct Runtime {
     topo: Arc<GridTopology>,
     model: Arc<CostModel>,
-    failed_links: HashSet<(usize, usize)>,
+    schedule: FailureSchedule,
     recv_timeout: Duration,
     tracing: bool,
 }
@@ -97,7 +190,7 @@ impl Runtime {
         Runtime {
             topo: Arc::new(topo),
             model: Arc::new(model),
-            failed_links: HashSet::new(),
+            schedule: FailureSchedule::default(),
             recv_timeout: crate::process::DEFAULT_RECV_TIMEOUT,
             tracing: false,
         }
@@ -118,10 +211,25 @@ impl Runtime {
     }
 
     /// Injects a deterministic failure on the directed link `src → dst`:
-    /// subsequent sends return [`CommError::LinkDown`].
+    /// subsequent sends return [`CommError::LinkDown`]. (Shorthand for a
+    /// one-rule [`FailureSchedule`]; composes with any schedule already
+    /// installed.)
     pub fn fail_link(&mut self, src: usize, dst: usize) -> &mut Self {
-        self.failed_links.insert((src, dst));
+        self.schedule = std::mem::take(&mut self.schedule).fail_link(src, dst);
         self
+    }
+
+    /// Installs a full [`FailureSchedule`] — rank crashes, transient
+    /// drops, degradation windows (replacing any schedule previously
+    /// installed, including `fail_link` rules).
+    pub fn set_failure_schedule(&mut self, schedule: FailureSchedule) -> &mut Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// The failure schedule currently in force (empty by default).
+    pub fn failure_schedule(&self) -> &FailureSchedule {
+        &self.schedule
     }
 
     /// The topology this runtime simulates.
@@ -146,7 +254,7 @@ impl Runtime {
         let n = self.topo.num_procs();
         assert!(n > 0, "cannot run on an empty topology");
         let (senders, inboxes): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded::<Envelope>()).unzip();
-        let failed = Arc::new(self.failed_links.clone());
+        let schedule = Arc::new(self.schedule.clone());
 
         let mut rank_results: Vec<Option<RankResult<T>>> = (0..n).map(|_| None).collect();
         let mut rank_traces: Vec<Vec<crate::trace::Event>> = (0..n).map(|_| Vec::new()).collect();
@@ -157,15 +265,20 @@ impl Runtime {
                 let senders = senders.clone();
                 let topo = Arc::clone(&self.topo);
                 let model = Arc::clone(&self.model);
-                let failed = Arc::clone(&failed);
+                let schedule = Arc::clone(&schedule);
                 let program = &program;
                 handles.push(scope.spawn(move || {
+                    let crash_at = schedule.crash_time(rank);
                     let mut proc = Process {
                         rank,
                         size: n,
                         topo,
                         model,
-                        failed_links: failed,
+                        schedule,
+                        crash_at,
+                        death_announced: false,
+                        dead: HashMap::new(),
+                        sent_seq: vec![0; n],
                         senders,
                         inbox,
                         pending: VecDeque::new(),
@@ -179,6 +292,14 @@ impl Runtime {
                     };
                     let world = Communicator::world(n);
                     let result = program(&mut proc, &world);
+                    // A program that failed will never send again: announce
+                    // the abort so peers fail fast in virtual time instead
+                    // of hitting the wall-clock safety net. (Crashed ranks
+                    // already announced inside check_alive; the broadcast
+                    // is idempotent.)
+                    if result.is_err() {
+                        proc.announce_abort();
+                    }
                     // Close any phases the program left open so phase
                     // spans are recorded even on early error returns.
                     while proc.current_phase().is_some() {
@@ -549,6 +670,169 @@ mod tests {
         let trace = report.trace.unwrap();
         let path = trace.critical_path();
         assert!((path.total().secs() - report.makespan.secs()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scheduled_crash_fails_self_and_is_detected_by_peer() {
+        use crate::process::DETECTION_LATENCY_FACTOR;
+        use crate::trace::{EventKind, FaultKind};
+        let mut rt = tiny_grid(1, 2, 1);
+        let crash_at = VirtualTime::from_millis(5.0);
+        rt.set_failure_schedule(FailureSchedule::new(0).crash_rank(0, crash_at));
+        rt.enable_tracing();
+        let report = rt.run(|p, _| {
+            if p.rank() == 0 {
+                // Compute past the crash instant, then try to send.
+                p.compute(10_000_000, None); // 10 ms at 1 Gflop/s
+                p.send(1, 0, 1.0f64)?;
+                Ok(0.0)
+            } else {
+                let x: f64 = p.recv(0, 0)?;
+                Ok(x)
+            }
+        });
+        assert_eq!(
+            report.ranks[0].result,
+            Err(CommError::RankFailed { rank: 0, at: crash_at })
+        );
+        assert_eq!(
+            report.ranks[1].result,
+            Err(CommError::RankFailed { rank: 0, at: crash_at })
+        );
+        // Virtual-time detection: rank 1's clock = crash + deadline, not
+        // a wall-clock guess. Link 0↔1 is intra-cluster: 1 ms latency.
+        let deadline = DETECTION_LATENCY_FACTOR * 1e-3;
+        let detected = report.ranks[1].stats.clock.secs();
+        assert!(
+            (detected - (crash_at.secs() + deadline)).abs() < 1e-9,
+            "detected at {detected}"
+        );
+        // The failure wait is traced as a Fault span.
+        let trace = report.trace.clone().unwrap();
+        assert!(trace.fault_events().iter().any(|e| matches!(
+            e.kind,
+            EventKind::Fault { peer: 0, kind: FaultKind::RankFailed, .. }
+        )));
+        // And the structured outcome lists the failed ranks.
+        let outcome = report.outcome();
+        assert!(!outcome.is_clean());
+        assert_eq!(outcome.failed_ranks(), vec![0, 1]);
+        assert!(outcome.summary().contains("crashed"));
+    }
+
+    #[test]
+    fn dropped_message_errors_both_sides_after_retries() {
+        use crate::process::MAX_SEND_ATTEMPTS;
+        let mut rt = tiny_grid(1, 2, 1);
+        // Lose the first four transmissions 0 → 1: all retries exhausted.
+        let mut s = FailureSchedule::new(0);
+        for n in 0..u64::from(MAX_SEND_ATTEMPTS) {
+            s = s.drop_nth_message(0, 1, n);
+        }
+        rt.set_failure_schedule(s);
+        let report = rt.run(|p, _| {
+            if p.rank() == 0 {
+                p.send(1, 0, 1.0f64)?;
+            } else {
+                let _: f64 = p.recv(0, 0)?;
+            }
+            Ok(())
+        });
+        assert_eq!(
+            report.ranks[0].result,
+            Err(CommError::MessageDropped { src: 0, dst: 1, attempts: MAX_SEND_ATTEMPTS })
+        );
+        assert_eq!(
+            report.ranks[1].result,
+            Err(CommError::MessageDropped { src: 0, dst: 1, attempts: MAX_SEND_ATTEMPTS })
+        );
+        // Each attempt was priced: 4 messages on the wire.
+        assert_eq!(report.ranks[0].stats.traffic.total_msgs(), 4);
+    }
+
+    #[test]
+    fn transient_drop_recovers_on_retransmit() {
+        let mut rt = tiny_grid(1, 2, 1);
+        rt.set_failure_schedule(FailureSchedule::new(0).drop_nth_message(0, 1, 0));
+        let report = rt.run(|p, _| {
+            if p.rank() == 0 {
+                p.send(1, 0, 7.0f64)?;
+                Ok(0.0)
+            } else {
+                p.recv(0, 0)
+            }
+        });
+        assert!(report.ranks[0].result.is_ok());
+        assert_eq!(report.ranks[1].result, Ok(7.0));
+        // The retransmission cost real virtual time: ≥ 2 message times
+        // plus backoff.
+        assert!(report.makespan.secs() > 2e-3);
+        assert_eq!(report.ranks[0].stats.traffic.total_msgs(), 2);
+    }
+
+    #[test]
+    fn abort_tombstone_reaches_waiting_peer() {
+        let rt = tiny_grid(1, 2, 1);
+        let report = rt.run(|p, _| {
+            if p.rank() == 0 {
+                // Fail without sending anything.
+                Err(CommError::TagMismatch { expected: 1, got: 2 })
+            } else {
+                let _: f64 = p.recv(0, 0)?;
+                Ok(())
+            }
+        });
+        // Rank 1 learns of the abort through the tombstone — PeerGone,
+        // not a wall-clock Timeout.
+        assert_eq!(
+            report.ranks[1].result,
+            Err(CommError::PeerGone { rank: 1, from: 0 })
+        );
+    }
+
+    #[test]
+    fn replay_with_same_schedule_is_bit_identical() {
+        let run = || {
+            let mut rt = tiny_grid(2, 2, 1);
+            rt.set_failure_schedule(
+                FailureSchedule::new(9)
+                    .crash_rank(3, VirtualTime::from_millis(2.0))
+                    .drop_nth_message(0, 1, 0)
+                    .drop_probability(1, 2, 0.5),
+            );
+            rt.enable_tracing();
+            let report = rt.run(|p, _| {
+                let next = (p.rank() + 1) % p.size();
+                let prev = (p.rank() + p.size() - 1) % p.size();
+                p.compute(1_000_000, None);
+                // Ignore drop errors; propagate the rest.
+                match p.send(next, 0, p.rank() as f64) {
+                    Ok(()) | Err(CommError::MessageDropped { .. }) => {}
+                    Err(e) => return Err(e),
+                }
+                match p.recv::<f64>(prev, 0) {
+                    Ok(_) | Err(CommError::MessageDropped { .. }) => {}
+                    Err(e) => return Err(e),
+                }
+                Ok(p.clock().secs())
+            });
+            let clocks: Vec<u64> =
+                report.ranks.iter().map(|r| r.stats.clock.secs().to_bits()).collect();
+            let faults: Vec<String> = report
+                .trace
+                .as_ref()
+                .unwrap()
+                .fault_events()
+                .iter()
+                .map(|e| format!("{:?}@{}:{:?}", e.rank, e.start.secs(), e.kind))
+                .collect();
+            (clocks, faults)
+        };
+        let (c1, f1) = run();
+        let (c2, f2) = run();
+        assert_eq!(c1, c2, "virtual clocks must replay bit-identically");
+        assert_eq!(f1, f2, "failure events must replay identically");
+        assert!(!f1.is_empty(), "the schedule injected observable faults");
     }
 
     #[test]

@@ -55,6 +55,65 @@ pub enum EventKind {
         /// The phase label.
         name: &'static str,
     },
+    /// A failure-schedule observation (see `docs/fault-injection.md`):
+    /// a failure-detector wait, a dropped transmission, or a degraded
+    /// send. Receiver-side kinds span the failure-induced wait;
+    /// [`FaultKind::LinkDegraded`] is a zero-width marker.
+    Fault {
+        /// The peer rank involved (the dead rank, the other end of the
+        /// dropped transmission, or the destination of the degraded
+        /// send).
+        peer: usize,
+        /// Link class between this rank and `peer`.
+        class: LinkClass,
+        /// What was observed.
+        kind: FaultKind,
+    },
+}
+
+/// What a [`EventKind::Fault`] event observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The failure detector declared `peer` crashed; the span covers the
+    /// receiver's failure-induced wait (from wait start to the
+    /// virtual-time detection deadline).
+    RankFailed,
+    /// `peer`'s rank program aborted with an error; span as above.
+    PeerAborted,
+    /// A transmission to `peer` was dropped in transit (sender side);
+    /// the span covers the wasted transmission plus retransmission
+    /// backoff.
+    DropSent,
+    /// A dropped transmission from `peer` was observed (receiver side);
+    /// the span covers the wait up to the would-be arrival.
+    DropObserved,
+    /// A send to `peer` was priced through an active degradation window
+    /// (zero-width marker at send start).
+    LinkDegraded,
+}
+
+impl FaultKind {
+    /// True for the receiver-side kinds whose span is a *wait* (these
+    /// feed the `failure-induced` wait-state class of
+    /// [`crate::diagnose`] and are mirrored into the metrics registry's
+    /// `recv_wait_s`).
+    pub fn is_wait(self) -> bool {
+        matches!(
+            self,
+            FaultKind::RankFailed | FaultKind::PeerAborted | FaultKind::DropObserved
+        )
+    }
+
+    /// Short stable label for renders and trace exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::RankFailed => "rank-failed",
+            FaultKind::PeerAborted => "peer-aborted",
+            FaultKind::DropSent => "drop-sent",
+            FaultKind::DropObserved => "drop-observed",
+            FaultKind::LinkDegraded => "link-degraded",
+        }
+    }
 }
 
 impl EventKind {
@@ -131,6 +190,14 @@ impl Trace {
         self.events.iter().map(|e| e.end).max().unwrap_or(VirtualTime::ZERO)
     }
 
+    /// Fault events only (failure-detector waits, drops, degradations),
+    /// in trace order — the run's failure history. Two replays of the
+    /// same (program, schedule, seed) produce identical failure
+    /// histories; the replay-determinism proptest diffs exactly this.
+    pub fn fault_events(&self) -> Vec<&Event> {
+        self.events.iter().filter(|e| matches!(e.kind, EventKind::Fault { .. })).collect()
+    }
+
     /// Inter-cluster send events only — the WAN bill, itemized.
     pub fn wan_sends(&self) -> Vec<&Event> {
         self.events
@@ -187,6 +254,9 @@ impl Trace {
                 }
                 EventKind::Compute { flops } => format!("compute {flops:>14} flops"),
                 EventKind::Phase { name } => format!("phase   {name}"),
+                EventKind::Fault { peer, class, kind } => {
+                    format!("fault   {:<13} peer {peer:<4} [{}]", kind.label(), class.label())
+                }
             };
             let phase = e.phase.map(|p| format!("  @{p}")).unwrap_or_default();
             let _ = writeln!(out, "{span} rank {:<4} {what}{phase}", e.rank);

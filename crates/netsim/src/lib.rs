@@ -22,12 +22,14 @@
 
 pub mod cost;
 pub mod desktop;
+pub mod fault;
 pub mod grid5000;
 pub mod occupancy;
 pub mod time;
 pub mod topology;
 
 pub use cost::{CostModel, LinkClass, LinkParams};
+pub use fault::{Degradation, FailureSchedule};
 pub use occupancy::{CommMatrix, LinkUsage, UtilizationTimeline};
 pub use time::VirtualTime;
 pub use topology::{ClusterSpec, GridTopology, ProcLocation};

@@ -24,4 +24,20 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 echo "==> cargo test --doc --workspace"
 cargo test -q --doc --workspace
 
+echo "==> fault-matrix smoke (self-healing TSQR via the CLI)"
+# Crash one representative rank of every tree level on the 4-site grid
+# (256 ranks, GridHierarchical): leaf, intra-cluster combiner, cluster
+# root, WAN-phase combiner, global root. Each run verifies the
+# recovered R bitwise against the failure-free reference and exits
+# nonzero otherwise. The last run also shows the plain program's typed
+# failure report (--baseline); a final run mixes transient loss with a
+# WAN brown-out.
+FAULTS="./target/release/grid-tsqr faults --m 65536 --n 32 --sites 4 --recv-timeout 30"
+for spec in 255@0.5 2@2 64@2 128@6 0@6; do
+  $FAULTS --crash "$spec" >/dev/null
+done
+$FAULTS --crash 0@2 --crash 1@4 --baseline >/dev/null
+$FAULTS --drop-prob 64:0:0.4 --wan-slow 0:50:4:4 --fault-seed 7 >/dev/null
+echo "    fault smoke: all scenarios recovered bitwise"
+
 echo "verify: all green"

@@ -10,6 +10,10 @@
 //!                     [--out trace.json] [--timeline]
 //! grid-tsqr analyze   --m 1048576 --n 64  [--sites 4] [--algo tsqr|scalapack]
 //!                     [--bins 64]
+//! grid-tsqr faults    --m 262144 --n 64   [--sites 4] [--crash R@MS ...]
+//!                     [--drop SRC:DST:NTH ...] [--drop-prob SRC:DST:P ...]
+//!                     [--wan-slow FROM_MS:UNTIL_MS:LATx:BWx] [--fault-seed 1]
+//!                     [--baseline]
 //! ```
 //!
 //! By default experiments run symbolically (paper scale in milliseconds)
@@ -21,6 +25,18 @@
 //! writes Chrome-trace JSON loadable in <https://ui.perfetto.dev>. The
 //! schema is documented in `docs/observability.md`.
 //!
+//! `faults` runs the **self-healing** TSQR (`tsqr_core::ft_tsqr`) with
+//! real numerics under an injected failure schedule — rank crashes at
+//! virtual times, transient message drops, WAN degradation windows — and
+//! verifies that the recovered R factor is bitwise identical to the
+//! failure-free run; `--baseline` additionally shows how the plain
+//! program fails (typed, structured — no panic) under the same schedule.
+//! See `docs/fault-injection.md`.
+//!
+//! Every subcommand accepts `--recv-timeout <seconds>`: the *wall-clock*
+//! deadlock safety net of the simulator (failure *detection* happens in
+//! virtual time; see `docs/fault-injection.md` §Detection).
+//!
 //! `analyze` runs the same traced point and prints the diagnosis instead:
 //! the Scalasca-style wait-state breakdown (reconciled against the metrics
 //! registry), per-link-class utilization timelines, the rank-to-rank
@@ -29,13 +45,17 @@
 
 use std::process::ExitCode;
 
+use grid_tsqr::core::domains::DomainLayout;
 use grid_tsqr::core::experiment::{run_experiment, Algorithm, Experiment, Mode};
+use grid_tsqr::core::ft_tsqr::ft_tsqr_rank_program;
 use grid_tsqr::core::modelfit;
-use grid_tsqr::core::tree::TreeShape;
+use grid_tsqr::core::tree::{ReductionTree, TreeShape};
+use grid_tsqr::core::tsqr::{tsqr_rank_program, TsqrConfig};
 use grid_tsqr::core::workload;
 use grid_tsqr::gridmpi::Runtime;
 use grid_tsqr::linalg::prelude::QrFactors;
 use grid_tsqr::linalg::verify::r_distance;
+use grid_tsqr::netsim::{FailureSchedule, VirtualTime};
 use tsqr_bench::{calib, grid_runtime};
 
 struct Args {
@@ -70,6 +90,15 @@ impl Args {
         self.flags.iter().any(|(n, _)| n == name)
     }
 
+    /// Every value given for a repeatable flag, in order.
+    fn all(&self, name: &str) -> Vec<&str> {
+        self.flags
+            .iter()
+            .filter(|(n, _)| n == name)
+            .filter_map(|(_, v)| v.as_deref())
+            .collect()
+    }
+
     fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.get(name) {
             None => Ok(default),
@@ -93,7 +122,17 @@ fn usage() -> ExitCode {
          \x20                     [--out <file.json>] [--timeline]\n\
          \x20 grid-tsqr analyze   --m <rows> --n <cols> [--sites 1..4] [--algo tsqr|scalapack]\n\
          \x20                     [--domains <d>] [--tree grid|binary|flat] [--bins <timeline bins>]\n\
+         \x20 grid-tsqr faults    --m <rows> --n <cols> [--sites 1..4] [--fault-seed <u64>]\n\
+         \x20                     [--crash RANK@MS ...] [--drop SRC:DST:NTH ...]\n\
+         \x20                     [--drop-prob SRC:DST:P ...] [--wan-slow FROM_MS:UNTIL_MS:LATx:BWx]\n\
+         \x20                     [--baseline]\n\
          \n\
+         Every subcommand accepts --recv-timeout <seconds> (wall-clock deadlock\n\
+         safety net; failure detection itself runs in virtual time).\n\
+         faults runs the self-healing TSQR with real numerics under an injected\n\
+         failure schedule and checks the recovered R against the failure-free\n\
+         run bit for bit; --baseline shows the plain program's typed failure.\n\
+         See docs/fault-injection.md.\n\
          Symbolic runs (default) execute the full distributed schedule with\n\
          model-priced virtual time; --real moves actual matrices and checks R.\n\
          trace prints the critical path and per-phase Eq. (1) ledger of one\n\
@@ -134,7 +173,24 @@ fn run() -> Result<String, String> {
     if !(1..=4).contains(&sites) {
         return Err("--sites must be 1..=4".into());
     }
-    let rt: Runtime = grid_runtime(sites);
+    // Wall-clock deadlock safety net (failure *detection* is virtual-time;
+    // see docs/fault-injection.md §Detection).
+    let recv_timeout: Option<f64> = match args.get("recv-timeout") {
+        None => None,
+        Some(v) => {
+            let secs: f64 =
+                v.parse().map_err(|_| format!("--recv-timeout: cannot parse {v:?}"))?;
+            if !secs.is_finite() || secs <= 0.0 {
+                return Err("--recv-timeout must be positive".into());
+            }
+            Some(secs)
+        }
+    };
+    let mut rt: Runtime = grid_runtime(sites);
+    if let Some(secs) = recv_timeout {
+        rt.set_recv_timeout(std::time::Duration::from_secs_f64(secs));
+    }
+    let rt = rt;
     let mode = if args.has("real") { Mode::Real { seed } } else { Mode::Symbolic };
     let rates = |n: usize| {
         (
@@ -267,6 +323,9 @@ fn run() -> Result<String, String> {
                 other => return Err(format!("unknown --algo {other:?}")),
             };
             let mut rt = grid_runtime(sites);
+            if let Some(secs) = recv_timeout {
+                rt.set_recv_timeout(std::time::Duration::from_secs_f64(secs));
+            }
             rt.enable_tracing();
             let res = run_experiment(
                 &rt,
@@ -353,6 +412,154 @@ fn run() -> Result<String, String> {
                 out.push_str(&format!(
                     "\nChrome trace written to {path} (load in ui.perfetto.dev or chrome://tracing)\n"
                 ));
+            }
+            Ok(out)
+        }
+        "faults" => {
+            // --- Build the failure schedule from the repeatable flags. ---
+            let fseed: u64 = args.num("fault-seed", 1u64)?;
+            let mut schedule = FailureSchedule::new(fseed);
+            for spec in args.all("crash") {
+                let (r, ms) = spec
+                    .split_once('@')
+                    .ok_or_else(|| format!("--crash wants RANK@MS, got {spec:?}"))?;
+                let r: usize = r.parse().map_err(|_| format!("--crash: bad rank {r:?}"))?;
+                let ms: f64 = ms.parse().map_err(|_| format!("--crash: bad time {ms:?}"))?;
+                schedule = schedule.crash_rank(r, VirtualTime::from_secs(ms * 1e-3));
+            }
+            let triple = |flag: &str, spec: &str| -> Result<(usize, usize, String), String> {
+                let parts: Vec<&str> = spec.split(':').collect();
+                let [src, dst, x] = parts[..] else {
+                    return Err(format!("--{flag} wants SRC:DST:X, got {spec:?}"));
+                };
+                let src = src.parse().map_err(|_| format!("--{flag}: bad src {src:?}"))?;
+                let dst = dst.parse().map_err(|_| format!("--{flag}: bad dst {dst:?}"))?;
+                Ok((src, dst, x.to_string()))
+            };
+            for spec in args.all("drop") {
+                let (src, dst, nth) = triple("drop", spec)?;
+                let nth: u64 =
+                    nth.parse().map_err(|_| format!("--drop: bad nth {nth:?}"))?;
+                schedule = schedule.drop_nth_message(src, dst, nth);
+            }
+            for spec in args.all("drop-prob") {
+                let (src, dst, prob) = triple("drop-prob", spec)?;
+                let prob: f64 =
+                    prob.parse().map_err(|_| format!("--drop-prob: bad p {prob:?}"))?;
+                schedule = schedule.drop_probability(src, dst, prob);
+            }
+            if let Some(spec) = args.get("wan-slow") {
+                let parts: Vec<&str> = spec.split(':').collect();
+                let [from, until, lat, bw] = parts[..] else {
+                    return Err(format!(
+                        "--wan-slow wants FROM_MS:UNTIL_MS:LATx:BWx, got {spec:?}"
+                    ));
+                };
+                let p = |what: &str, v: &str| -> Result<f64, String> {
+                    v.parse().map_err(|_| format!("--wan-slow: bad {what} {v:?}"))
+                };
+                schedule = schedule.degrade_all_wan(
+                    VirtualTime::from_secs(p("from", from)? * 1e-3),
+                    VirtualTime::from_secs(p("until", until)? * 1e-3),
+                    p("latency factor", lat)?,
+                    p("bandwidth divisor", bw)?,
+                );
+            }
+
+            // --- One domain per process, as self-healing TSQR requires. ---
+            let dpc = rt.topology().num_procs() / sites;
+            let layout = DomainLayout::build(rt.topology(), m, n, dpc);
+            let tree = ReductionTree::build(
+                TreeShape::GridHierarchical,
+                layout.num_domains(),
+                &layout.clusters(),
+            );
+            let (rate, combine) = rates(n);
+            let cfg = TsqrConfig {
+                shape: TreeShape::GridHierarchical,
+                domains_per_cluster: dpc,
+                compute_q: false,
+                combine_rate_flops: combine,
+                ..Default::default()
+            };
+
+            // Failure-free reference: the plain program, empty schedule.
+            let clean = rt.run(|p, _| tsqr_rank_program(p, &layout, &tree, &cfg, seed, rate));
+            let reference = clean.ranks[0]
+                .result
+                .clone()
+                .map_err(|e| format!("failure-free run failed: {e}"))?
+                .r
+                .expect("root holds R");
+            let mut out = format!(
+                "failure-free: {:.3} s simulated ({} domains, tree grid)\n",
+                clean.makespan.secs(),
+                layout.num_domains(),
+            );
+
+            // Self-healing run under the schedule.
+            let mut frt = grid_runtime(sites);
+            if let Some(secs) = recv_timeout {
+                frt.set_recv_timeout(std::time::Duration::from_secs_f64(secs));
+            }
+            frt.set_failure_schedule(schedule.clone());
+            let report =
+                frt.run(|p, _| ft_tsqr_rank_program(p, &layout, &tree, &cfg, seed, rate));
+            let makespan = report.makespan;
+            let outcome = report.outcome();
+            let mut holder: Option<(usize, grid_tsqr::core::ft_tsqr::FtTsqrOutput)> = None;
+            let (mut rebuilt, mut salvaged) = (0usize, 0usize);
+            for (rank, o) in &outcome.survivors {
+                rebuilt += o.rebuilt_subtrees.len();
+                salvaged += o.salvaged_children.len();
+                if o.r.is_some() {
+                    holder = Some((*rank, o.clone()));
+                }
+            }
+            let (holder_rank, holder_out) =
+                holder.ok_or("no survivor holds an R factor — recovery failed")?;
+            out.push_str(&format!(
+                "self-healing: {:.3} s simulated; {} crashed rank(s) {:?}; \
+                 {} subtree(s) rebuilt, {} salvaged; R held by rank {}\n",
+                makespan.secs(),
+                outcome.failed_ranks().len(),
+                outcome.failed_ranks(),
+                rebuilt,
+                salvaged,
+                holder_rank,
+            ));
+            let r = holder_out.r.expect("holder has R");
+            let d = r_distance(&r, &reference);
+            if !r.approx_eq(&reference, 0.0) {
+                return Err(format!(
+                    "recovered R differs from the failure-free R (max diff {d:.2e})"
+                ));
+            }
+            out.push_str("  recovered R is bitwise identical to the failure-free R\n");
+
+            // Optionally show how the plain program fares (typed, no panic).
+            if args.has("baseline") {
+                let mut brt = grid_runtime(sites);
+                if let Some(secs) = recv_timeout {
+                    brt.set_recv_timeout(std::time::Duration::from_secs_f64(secs));
+                }
+                brt.set_failure_schedule(schedule);
+                let base =
+                    brt.run(|p, _| tsqr_rank_program(p, &layout, &tree, &cfg, seed, rate));
+                let bo = base.outcome();
+                if bo.is_clean() {
+                    out.push_str("baseline tsqr: unaffected by this schedule\n");
+                } else {
+                    out.push_str(&format!(
+                        "baseline tsqr: {} rank(s) failed {:?}; first error: {}\n",
+                        bo.failed_ranks().len(),
+                        bo.failed_ranks(),
+                        bo.failures
+                            .first()
+                            .map(|(r, e)| format!("rank {r}: {e}"))
+                            .unwrap_or_default(),
+                    ));
+                }
             }
             Ok(out)
         }

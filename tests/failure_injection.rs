@@ -115,6 +115,98 @@ fn tsqr_surfaces_failure_on_the_reduction_edge() {
     assert!(report.ranks[3].result.is_ok());
 }
 
+/// Two clusters × two nodes × two procs per node: the smallest grid on
+/// which every link class (intra-node, intra-cluster, inter-cluster)
+/// appears. Ranks 0–3 are cluster 0 (0,1 share a node), ranks 4–7 are
+/// cluster 1.
+fn multi_class_runtime() -> Runtime {
+    let specs = (0..2)
+        .map(|i| ClusterSpec {
+            name: format!("c{i}"),
+            nodes: 2,
+            procs_per_node: 2,
+            peak_gflops_per_proc: 8.0,
+        })
+        .collect();
+    let topo = GridTopology::block_placement(specs, 2, 2);
+    let mut rt =
+        Runtime::new(topo, CostModel::homogeneous(LinkParams::from_ms_mbps(0.1, 890.0), 1e9, 2));
+    // Failure tests intentionally starve some ranks; fail fast.
+    rt.set_recv_timeout(std::time::Duration::from_secs(2));
+    rt
+}
+
+#[test]
+fn fail_link_is_directional_for_every_link_class() {
+    // One representative pair per link class, failed in each direction:
+    // the failed direction surfaces as LinkDown at the sender while the
+    // reverse direction still carries data.
+    for (a, b, class) in [
+        (0usize, 1usize, "intra-node"),
+        (0, 2, "intra-cluster"),
+        (0, 4, "inter-cluster"),
+    ] {
+        for (src, dst) in [(a, b), (b, a)] {
+            let mut rt = multi_class_runtime();
+            rt.fail_link(src, dst);
+            let report = rt.run(|p, _| {
+                if p.rank() == src {
+                    match p.send(dst, 0, 1.0f64) {
+                        Err(CommError::LinkDown { src: s, dst: d }) if s == src && d == dst => {}
+                        other => {
+                            panic!("{class} {src}->{dst}: expected LinkDown, got {other:?}")
+                        }
+                    }
+                    // The reverse direction is untouched.
+                    p.recv::<f64>(dst, 1)
+                } else if p.rank() == dst {
+                    p.send(src, 1, 2.0f64)?;
+                    Ok(2.0)
+                } else {
+                    Ok(0.0)
+                }
+            });
+            assert_eq!(report.ranks[src].result, Ok(2.0), "{class} {src}->{dst}");
+            assert!(report.ranks[dst].result.is_ok(), "{class} {src}->{dst}");
+        }
+    }
+}
+
+#[test]
+fn starving_rank_terminates_typed_for_every_link_class() {
+    // The receiver waits on a message that can never arrive (its only
+    // sender hits a dead link and exits). It must terminate with a typed
+    // error — PeerGone once the sender's thread is gone, or the
+    // wall-clock Timeout net — never hang.
+    for (src, dst, class) in [
+        (1usize, 0usize, "intra-node"),
+        (2, 0, "intra-cluster"),
+        (4, 0, "inter-cluster"),
+    ] {
+        let mut rt = multi_class_runtime();
+        rt.fail_link(src, dst);
+        let report = rt.run(|p, _| {
+            if p.rank() == src {
+                match p.send(dst, 0, 1.0f64) {
+                    Err(CommError::LinkDown { .. }) => Ok("sender-saw-linkdown"),
+                    other => panic!("{class}: sender expected LinkDown, got {other:?}"),
+                }
+            } else if p.rank() == dst {
+                match p.recv::<f64>(src, 0) {
+                    Err(CommError::PeerGone { .. } | CommError::Timeout { .. }) => {
+                        Ok("starved-but-typed")
+                    }
+                    other => panic!("{class}: starved rank expected a typed end, got {other:?}"),
+                }
+            } else {
+                Ok("idle")
+            }
+        });
+        assert_eq!(report.ranks[src].result, Ok("sender-saw-linkdown"), "{class}");
+        assert_eq!(report.ranks[dst].result, Ok("starved-but-typed"), "{class}");
+    }
+}
+
 #[test]
 fn unrelated_traffic_is_unaffected() {
     let mut rt = runtime(4);
