@@ -113,13 +113,16 @@ fn slice_json(e: &Event) -> String {
     let ts = micros(e.start.secs());
     let dur = micros((e.end - e.start).secs());
     let (tid, name, cat, args) = match &e.kind {
-        EventKind::Send { to, bytes, class } => (
+        // `tag`/`wildcard` are deliberately *not* serialized: the Chrome
+        // schema (docs/observability.md, pinned by tests/golden/)
+        // predates them and the analyzer reads the trace directly.
+        EventKind::Send { to, bytes, class, .. } => (
             2 * e.rank,
             format!("send\u{2192}{to}"),
             class.label().to_string(),
             format!("\"bytes\":{bytes},\"to\":{to}"),
         ),
-        EventKind::Recv { from, bytes, class } => (
+        EventKind::Recv { from, bytes, class, .. } => (
             2 * e.rank + 1,
             format!("recv\u{2190}{from}"),
             class.label().to_string(),
@@ -234,12 +237,18 @@ mod tests {
     fn export_is_valid_shape_and_has_flows() {
         let t = Trace::from_parts(vec![
             ev(0, 0.0, 0.5, EventKind::Compute { flops: 10 }),
-            ev(0, 0.5, 1.0, EventKind::Send { to: 1, bytes: 8, class: LinkClass::IntraNode }),
+            ev(0, 0.5, 1.0, EventKind::Send { to: 1, bytes: 8, class: LinkClass::IntraNode, tag: 0 }),
             ev(
                 1,
                 0.0,
                 1.0,
-                EventKind::Recv { from: 0, bytes: 8, class: LinkClass::IntraNode },
+                EventKind::Recv {
+                    from: 0,
+                    bytes: 8,
+                    class: LinkClass::IntraNode,
+                    tag: 0,
+                    wildcard: false,
+                },
             ),
         ]);
         let json = t.chrome_json();

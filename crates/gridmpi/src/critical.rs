@@ -22,7 +22,7 @@
 //! the earlier message. Contiguity (and the makespan invariant) is
 //! unaffected.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tsqr_netsim::{LinkClass, VirtualTime};
 
@@ -180,14 +180,14 @@ impl Trace {
     pub fn critical_path(&self) -> CriticalPath {
         // Per-rank DAG events (phase markers overlap real work and are
         // excluded), as indices into self.events, in program order.
-        let mut by_rank: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut by_rank: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for (i, e) in self.events.iter().enumerate() {
             if !e.kind.is_phase() {
                 by_rank.entry(e.rank).or_default().push(i);
             }
         }
         // recv index -> matched send index.
-        let recv_to_send: HashMap<usize, usize> =
+        let recv_to_send: BTreeMap<usize, usize> =
             self.match_messages().iter().map(|m| (m.recv, m.send)).collect();
 
         // Start at the event that finishes last.
@@ -359,11 +359,11 @@ mod tests {
     }
 
     fn send(to: usize, class: LinkClass) -> EventKind {
-        EventKind::Send { to, bytes: 8, class }
+        EventKind::Send { to, bytes: 8, class, tag: 0 }
     }
 
     fn recv(from: usize, class: LinkClass) -> EventKind {
-        EventKind::Recv { from, bytes: 8, class }
+        EventKind::Recv { from, bytes: 8, class, tag: 0, wildcard: false }
     }
 
     const C: LinkClass = LinkClass::IntraCluster;

@@ -28,7 +28,7 @@
 //! buffered delivery, per-source FIFO channels). Interpretation guidance
 //! lives in `docs/observability.md` §8.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use tsqr_netsim::occupancy::{CommMatrix, LinkUsage, UtilizationTimeline};
@@ -367,7 +367,7 @@ impl Trace {
 
         // Link-occupancy views come straight from send events.
         for e in &self.events {
-            if let EventKind::Send { to, bytes, class } = e.kind {
+            if let EventKind::Send { to, bytes, class, .. } = e.kind {
                 let (s, t) = (e.start.secs(), e.end.secs());
                 link_usage.record(class.bucket(), bytes, s, t);
                 timeline.record(class.bucket(), s, t);
@@ -378,7 +378,7 @@ impl Trace {
         }
 
         // Per-rank activity indices for sender classification.
-        let mut spans: HashMap<usize, Vec<(f64, f64, Activity)>> = HashMap::new();
+        let mut spans: BTreeMap<usize, Vec<(f64, f64, Activity)>> = BTreeMap::new();
         for e in &self.events {
             let act = match e.kind {
                 EventKind::Send { .. } => Activity::Sending,
@@ -396,10 +396,10 @@ impl Trace {
                 .or_default()
                 .push((e.start.secs(), e.end.secs(), act));
         }
-        let index: HashMap<usize, RankIndex> =
+        let index: BTreeMap<usize, RankIndex> =
             spans.into_iter().map(|(r, s)| (r, RankIndex::build(s))).collect();
 
-        let recv_to_send: HashMap<usize, usize> =
+        let recv_to_send: BTreeMap<usize, usize> =
             self.match_messages().iter().map(|m| (m.recv, m.send)).collect();
 
         let phase_mut = |name: &'static str,
@@ -503,11 +503,11 @@ mod tests {
     }
 
     fn send(to: usize, class: LinkClass) -> EventKind {
-        EventKind::Send { to, bytes: 64, class }
+        EventKind::Send { to, bytes: 64, class, tag: 0 }
     }
 
     fn recv(from: usize, class: LinkClass) -> EventKind {
-        EventKind::Recv { from, bytes: 64, class }
+        EventKind::Recv { from, bytes: 64, class, tag: 0, wildcard: false }
     }
 
     #[test]

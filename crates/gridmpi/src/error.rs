@@ -42,6 +42,21 @@ pub enum CommError {
         /// The rank it was waiting for.
         from: usize,
     },
+    /// A wall-clock receive timeout that the happens-before analyzer
+    /// resolved into a **wait-for cycle**: a true communication deadlock,
+    /// not merely a slow peer. Produced by [`crate::Runtime`] when
+    /// tracing is enabled — the runtime upgrades [`CommError::Timeout`]
+    /// whenever the timed-out rank sits on a cycle in the trace's
+    /// wait-for graph (see `crate::hb` and `docs/static-analysis.md`).
+    Deadlock {
+        /// The rank that was waiting.
+        rank: usize,
+        /// The rank it was waiting for.
+        from: usize,
+        /// The wait-for cycle: `cycle[0]` waited on `cycle[1]` waited on
+        /// … waited on `cycle[0]`.
+        cycle: Vec<usize>,
+    },
     /// The peer thread terminated (channel disconnected) before sending.
     PeerGone {
         /// The rank that was waiting.
@@ -81,6 +96,16 @@ impl fmt::Display for CommError {
             }
             CommError::Timeout { rank, from } => {
                 write!(f, "rank {rank} timed out waiting for a message from {from}")
+            }
+            CommError::Deadlock { rank, from, cycle } => {
+                write!(
+                    f,
+                    "rank {rank} deadlocked waiting for {from} (wait-for cycle: "
+                )?;
+                for r in cycle {
+                    write!(f, "{r} -> ")?;
+                }
+                write!(f, "{})", cycle.first().copied().unwrap_or(*rank))
             }
             CommError::PeerGone { rank, from } => {
                 write!(f, "rank {rank}: peer {from} terminated before sending")

@@ -50,6 +50,8 @@ pub mod comm;
 pub mod critical;
 pub mod diagnose;
 pub mod error;
+pub mod explore;
+pub mod hb;
 pub mod message;
 pub mod metrics;
 pub mod process;
@@ -61,11 +63,13 @@ pub use comm::Communicator;
 pub use critical::{CriticalPath, PathSummary, Segment, SegmentKind};
 pub use diagnose::{Diagnosis, WaitBreakdown, WaitState};
 pub use error::CommError;
+pub use explore::{explore, fnv1a, schedules_for, ExploreReport, ScheduleRun};
+pub use hb::{HbReport, ReceiveRace, VectorClock, Violation};
 pub use message::WirePayload;
 pub use metrics::{Histogram, MetricsRegistry, PhaseCounters};
 pub use process::{
-    Process, RankStats, TrafficCounters, DEFAULT_RECV_TIMEOUT, DETECTION_LATENCY_FACTOR,
-    MAX_SEND_ATTEMPTS,
+    DeliveryOrder, Process, RankStats, TrafficCounters, DEFAULT_RECV_TIMEOUT,
+    DETECTION_LATENCY_FACTOR, MAX_SEND_ATTEMPTS,
 };
 pub use runtime::{RankResult, RunOutcome, RunReport, Runtime};
 pub use trace::{Event, EventKind, FaultKind, MessageMatch, Trace};

@@ -1,6 +1,6 @@
 //! The per-rank handle: point-to-point messaging, virtual clock, counters.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -11,6 +11,7 @@ use tsqr_netsim::{
 };
 
 use crate::error::CommError;
+use crate::hb::VectorClock;
 use crate::message::{Envelope, EnvelopeKind, WirePayload};
 use crate::metrics::MetricsRegistry;
 use crate::trace::{Event, EventKind, FaultKind, Recorder};
@@ -45,6 +46,41 @@ pub const DETECTION_LATENCY_FACTOR: f64 = 4.0;
 /// and surfaces [`CommError::MessageDropped`]. Between attempts the
 /// sender backs off `2^(attempt-1)` link latencies.
 pub const MAX_SEND_ATTEMPTS: u32 = 4;
+
+/// The order in which buffered messages from *different* sources queue in
+/// a rank's pending buffer. Per-source FIFO is always preserved (it is
+/// what makes named receives deterministic); only the interleaving
+/// *between* sources changes — which is exactly the freedom a wildcard
+/// receive ([`Process::recv_any`]) would observe.
+///
+/// The DPOR-lite explorer ([`mod@crate::explore`]) re-runs a program under
+/// several of these orders and asserts bit-identical results: a program
+/// whose output changes under a different `DeliveryOrder` is
+/// schedule-dependent, and the happens-before analyzer ([`crate::hb`])
+/// names the racing receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeliveryOrder {
+    /// OS-channel arrival order (the default; what a real network does).
+    #[default]
+    Arrival,
+    /// Buffered messages sort by ascending source rank.
+    SourceAscending,
+    /// Buffered messages sort by descending source rank.
+    SourceDescending,
+    /// Each buffered message lands at a pseudo-random legal position
+    /// derived from the seed, the receiving rank and a per-rank counter
+    /// (deterministic for a fixed seed).
+    Seeded(u64),
+}
+
+/// SplitMix64 — the tiny deterministic mixer behind
+/// [`DeliveryOrder::Seeded`].
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
 
 /// How a peer is known to have stopped (crate-internal bookkeeping fed
 /// by tombstone envelopes).
@@ -129,7 +165,8 @@ pub struct Process {
     /// True once this rank broadcast its own death (crash or abort).
     pub(crate) death_announced: bool,
     /// Peers known dead, with how and when (fed by tombstones).
-    pub(crate) dead: HashMap<usize, Death>,
+    /// `BTreeMap` so every drain over it is deterministic.
+    pub(crate) dead: BTreeMap<usize, Death>,
     /// Per-destination transmission sequence numbers (indexes the
     /// schedule's drop rules).
     pub(crate) sent_seq: Vec<u64>,
@@ -152,6 +189,16 @@ pub struct Process {
     pub(crate) phase_stack: Vec<(&'static str, VirtualTime)>,
     /// Always-on per-phase counters and histograms.
     pub(crate) metrics: MetricsRegistry,
+    /// This rank's vector clock: ticked on every send/receive, merged on
+    /// every receive (see [`crate::hb`]). Every data envelope carries the
+    /// sender's clock at send time.
+    pub(crate) vc: VectorClock,
+    /// Inter-source ordering discipline for the pending buffer (see
+    /// [`DeliveryOrder`]; installed by
+    /// [`crate::Runtime::set_delivery_order`]).
+    pub(crate) delivery: DeliveryOrder,
+    /// Messages buffered so far (feeds the seeded delivery permutation).
+    pub(crate) buffered: u64,
 }
 
 impl Process {
@@ -426,6 +473,9 @@ impl Process {
         let from = self.location();
         let to = self.topo.location(dst);
         let class = LinkClass::between(from, to);
+        // The send is one causal event: tick once (not per retransmission
+        // attempt) and stamp the envelope with the post-tick clock.
+        self.vc.tick(self.rank);
         let mut attempts = 0u32;
         loop {
             attempts += 1;
@@ -469,7 +519,7 @@ impl Process {
                 let kind = if dropped {
                     EventKind::Fault { peer: dst, class, kind: FaultKind::DropSent }
                 } else {
-                    EventKind::Send { to: dst, bytes, class }
+                    EventKind::Send { to: dst, bytes, class, tag }
                 };
                 rec.events.push(Event {
                     rank: self.rank,
@@ -488,6 +538,7 @@ impl Process {
                 arrival,
                 bytes,
                 kind: EnvelopeKind::Data { dropped },
+                vc: self.vc.as_slice().to_vec(),
                 payload: Box::new(msg),
             };
             // Unbounded channel: never blocks. A disconnected receiver means
@@ -519,7 +570,7 @@ impl Process {
         // its tombstone was recorded, so data wins over the death check.
         if let Some(pos) = self.pending.iter().position(|e| e.src == src) {
             let env = self.pending.remove(pos).expect("position just found");
-            return self.open::<M>(env, tag);
+            return self.open::<M>(env, tag, false);
         }
         if let Some(&death) = self.dead.get(&src) {
             let now = self.clock;
@@ -530,9 +581,9 @@ impl Process {
             match self.inbox.recv_timeout(self.recv_timeout) {
                 Ok(env) => match env.kind {
                     EnvelopeKind::Data { .. } if env.src == src => {
-                        return self.open::<M>(env, tag)
+                        return self.open::<M>(env, tag, false)
                     }
-                    EnvelopeKind::Data { .. } => self.pending.push_back(env),
+                    EnvelopeKind::Data { .. } => self.buffer(env),
                     EnvelopeKind::Crash { at } => {
                         self.dead.insert(env.src, Death::Crash(at));
                         if env.src == src {
@@ -555,13 +606,128 @@ impl Process {
                     }
                 },
                 Err(RecvTimeoutError::Timeout) => {
-                    return Err(CommError::Timeout { rank: self.rank, from: src })
+                    self.record_deadlock_suspect(src, wait_start);
+                    return Err(CommError::Timeout { rank: self.rank, from: src });
                 }
                 Err(RecvTimeoutError::Disconnected) => {
-                    return Err(CommError::PeerGone { rank: self.rank, from: src })
+                    // Every peer's thread exited while we were still
+                    // blocked on `src` — an orphaned wait, which is the
+                    // same evidence a timeout gives (the disconnect just
+                    // raced the timer). Record the suspect edge so the
+                    // wait-for cycle survives the shutdown ordering and
+                    // the analyzer can still name the deadlock.
+                    self.record_deadlock_suspect(src, wait_start);
+                    return Err(CommError::PeerGone { rank: self.rank, from: src });
                 }
             }
         }
+    }
+
+    /// **Wildcard** blocking receive: the next data message from *any*
+    /// source carrying `tag`. Returns `(source, payload)`.
+    ///
+    /// This is deliberately a nondeterminism hazard — which sender
+    /// matches depends on delivery order — and exists so the
+    /// happens-before analyzer and the schedule explorer have a real
+    /// race to catch (see `docs/static-analysis.md`). No shipped rank
+    /// program uses it; the `commlint` wildcard-recv rule denies it
+    /// outside test code.
+    pub fn recv_any<M: WirePayload>(&mut self, tag: u32) -> Result<(usize, M), CommError> {
+        self.check_alive()?;
+        // Drain the channel first so already-arrived messages compete in
+        // the pending buffer under the installed delivery order.
+        while let Ok(env) = self.inbox.try_recv() {
+            self.intake(env);
+        }
+        let wait_start = self.clock;
+        loop {
+            if let Some(pos) =
+                self.pending.iter().position(|e| matches!(e.kind, EnvelopeKind::Data { .. }))
+            {
+                let env = self.pending.remove(pos).expect("position just found");
+                let src = env.src;
+                return self.open::<M>(env, tag, true).map(|m| (src, m));
+            }
+            match self.inbox.recv_timeout(self.recv_timeout) {
+                Ok(env) => self.intake(env),
+                Err(RecvTimeoutError::Timeout) => {
+                    // A wildcard wait names nobody: the suspect edge
+                    // points at the waiter itself (self-loops are
+                    // excluded from deadlock cycles).
+                    self.record_deadlock_suspect(self.rank, wait_start);
+                    return Err(CommError::Timeout { rank: self.rank, from: self.rank });
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Same orphaned-wait evidence as the timeout branch
+                    // (self-loops are excluded from deadlock cycles).
+                    self.record_deadlock_suspect(self.rank, wait_start);
+                    return Err(CommError::PeerGone { rank: self.rank, from: self.rank });
+                }
+            }
+        }
+    }
+
+    /// Routes one envelope off the channel: data is buffered under the
+    /// delivery order, tombstones are recorded in the death map.
+    fn intake(&mut self, env: Envelope) {
+        match env.kind {
+            EnvelopeKind::Data { .. } => self.buffer(env),
+            EnvelopeKind::Crash { at } => {
+                self.dead.insert(env.src, Death::Crash(at));
+            }
+            EnvelopeKind::Abort { at } => {
+                self.dead.insert(env.src, Death::Abort(at));
+            }
+        }
+    }
+
+    /// Inserts `env` into the pending buffer at a position chosen by the
+    /// [`DeliveryOrder`], never before an earlier message from the same
+    /// source (per-source FIFO is inviolable — named receives rely on
+    /// it).
+    fn buffer(&mut self, env: Envelope) {
+        let min_pos =
+            self.pending.iter().rposition(|e| e.src == env.src).map_or(0, |p| p + 1);
+        let max_pos = self.pending.len();
+        let pos = match self.delivery {
+            DeliveryOrder::Arrival => max_pos,
+            DeliveryOrder::SourceAscending => (min_pos..max_pos)
+                .find(|&i| self.pending[i].src > env.src)
+                .unwrap_or(max_pos),
+            DeliveryOrder::SourceDescending => (min_pos..max_pos)
+                .find(|&i| self.pending[i].src < env.src)
+                .unwrap_or(max_pos),
+            DeliveryOrder::Seeded(seed) => {
+                let h = splitmix64(
+                    seed ^ (self.rank as u64).rotate_left(32) ^ self.buffered,
+                );
+                min_pos + (h as usize) % (max_pos - min_pos + 1)
+            }
+        };
+        self.buffered += 1;
+        self.pending.insert(pos, env);
+    }
+
+    /// Records the wall-clock safety net firing (zero-width
+    /// [`FaultKind::DeadlockSuspect`] marker — virtual time never
+    /// advances for wall-clock events) so the happens-before analyzer
+    /// can assemble the wait-for graph.
+    fn record_deadlock_suspect(&mut self, peer: usize, wait_start: VirtualTime) {
+        let class = LinkClass::between(self.topo.location(peer), self.location());
+        if let Some(rec) = &mut self.recorder {
+            rec.events.push(Event {
+                rank: self.rank,
+                start: wait_start,
+                end: wait_start,
+                phase: self.phase_stack.last().map(|(n, _)| *n),
+                kind: EventKind::Fault { peer, class, kind: FaultKind::DeadlockSuspect },
+            });
+        }
+    }
+
+    /// This rank's current vector clock (see [`crate::hb`]).
+    pub fn vector_clock(&self) -> &VectorClock {
+        &self.vc
     }
 
     /// Combined exchange with a partner: send ours, receive theirs.
@@ -586,10 +752,19 @@ impl Process {
         Ok(got)
     }
 
-    fn open<M: WirePayload>(&mut self, env: Envelope, tag: u32) -> Result<M, CommError> {
+    fn open<M: WirePayload>(
+        &mut self,
+        env: Envelope,
+        tag: u32,
+        wildcard: bool,
+    ) -> Result<M, CommError> {
         if env.tag != tag {
             return Err(CommError::TagMismatch { expected: tag, got: env.tag });
         }
+        // Causality: adopt the sender's knowledge, then tick for the
+        // receive event itself.
+        self.vc.merge(&VectorClock::from(env.vc.clone()));
+        self.vc.tick(self.rank);
         // Receiver-side NIC serialization: the bytes of this message must
         // be clocked in after whatever the NIC was already receiving. For
         // an idle NIC this is exactly `arrival`; for a hot one (e.g. the
@@ -617,7 +792,7 @@ impl Process {
             let kind = if ghost {
                 EventKind::Fault { peer: env.src, class, kind: FaultKind::DropObserved }
             } else {
-                EventKind::Recv { from: env.src, bytes: env.bytes, class }
+                EventKind::Recv { from: env.src, bytes: env.bytes, class, tag, wildcard }
             };
             rec.events.push(Event {
                 rank: self.rank,

@@ -1,6 +1,6 @@
 //! Launching rank programs and collecting run reports.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -10,9 +10,10 @@ use tsqr_netsim::{CostModel, FailureSchedule, GridTopology, VirtualTime};
 
 use crate::comm::Communicator;
 use crate::error::CommError;
+use crate::hb::{HbReport, VectorClock};
 use crate::message::Envelope;
 use crate::metrics::MetricsRegistry;
-use crate::process::{Process, RankStats, TrafficCounters};
+use crate::process::{DeliveryOrder, Process, RankStats, TrafficCounters};
 use crate::trace::{Recorder, Trace};
 
 /// Outcome of one rank: its program result (or communication error) plus
@@ -39,6 +40,9 @@ pub struct RunReport<T> {
     pub trace: Option<Trace>,
     /// Per-rank phase metrics (always collected), indexed by rank.
     pub metrics: Vec<MetricsRegistry>,
+    /// Each rank's final vector clock (see [`crate::hb`]), indexed by
+    /// rank. Always collected — the clocks are a few words per rank.
+    pub vector_clocks: Vec<Vec<u64>>,
 }
 
 /// Structured join of a run: who finished, who failed, and the partial
@@ -81,19 +85,37 @@ impl<T> RunOutcome<T> {
     }
 
     /// One-line human summary (`"64 ok, 1 failed: rank 37 crashed …"`).
+    ///
+    /// When tracing was enabled and some rank timed out on the
+    /// wall-clock safety net, the summary also *names the deadlock
+    /// cycle* the happens-before analyzer found (e.g. `deadlock cycle
+    /// 0 → 1 → 0`), so the operator sees who was waiting on whom instead
+    /// of a bare timeout.
     pub fn summary(&self) -> String {
         if self.is_clean() {
-            format!("{} ranks ok", self.survivors.len())
-        } else {
-            let what: Vec<String> =
-                self.failures.iter().map(|(r, e)| format!("rank {r}: {e}")).collect();
-            format!(
-                "{} ok, {} failed — {}",
-                self.survivors.len(),
-                self.failures.len(),
-                what.join("; ")
-            )
+            return format!("{} ranks ok", self.survivors.len());
         }
+        let what: Vec<String> =
+            self.failures.iter().map(|(r, e)| format!("rank {r}: {e}")).collect();
+        let mut out = format!(
+            "{} ok, {} failed — {}",
+            self.survivors.len(),
+            self.failures.len(),
+            what.join("; ")
+        );
+        let timed_out =
+            self.failures.iter().any(|(_, e)| matches!(e, CommError::Timeout { .. }));
+        if timed_out {
+            if let Some(trace) = &self.trace {
+                for cycle in trace.deadlock_cycles() {
+                    out.push_str(&format!(
+                        "; deadlock cycle {}",
+                        HbReport::cycle_string(&cycle)
+                    ));
+                }
+            }
+        }
+        out
     }
 }
 
@@ -181,6 +203,7 @@ pub struct Runtime {
     schedule: FailureSchedule,
     recv_timeout: Duration,
     tracing: bool,
+    delivery: DeliveryOrder,
 }
 
 impl Runtime {
@@ -193,7 +216,22 @@ impl Runtime {
             schedule: FailureSchedule::default(),
             recv_timeout: crate::process::DEFAULT_RECV_TIMEOUT,
             tracing: false,
+            delivery: DeliveryOrder::default(),
         }
+    }
+
+    /// Installs a pending-buffer [`DeliveryOrder`] — the DPOR-lite
+    /// explorer's lever. Deterministic programs (no wildcard receives)
+    /// produce bit-identical results under every order; the explorer
+    /// asserts exactly that.
+    pub fn set_delivery_order(&mut self, order: DeliveryOrder) -> &mut Self {
+        self.delivery = order;
+        self
+    }
+
+    /// The delivery order in force.
+    pub fn delivery_order(&self) -> DeliveryOrder {
+        self.delivery
     }
 
     /// Records every send/receive/compute with its virtual-time span; the
@@ -259,6 +297,7 @@ impl Runtime {
         let mut rank_results: Vec<Option<RankResult<T>>> = (0..n).map(|_| None).collect();
         let mut rank_traces: Vec<Vec<crate::trace::Event>> = (0..n).map(|_| Vec::new()).collect();
         let mut rank_metrics: Vec<MetricsRegistry> = (0..n).map(|_| Default::default()).collect();
+        let mut rank_vcs: Vec<Vec<u64>> = (0..n).map(|_| Vec::new()).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for (rank, inbox) in inboxes.into_iter().enumerate() {
@@ -277,7 +316,7 @@ impl Runtime {
                         schedule,
                         crash_at,
                         death_announced: false,
-                        dead: HashMap::new(),
+                        dead: BTreeMap::new(),
                         sent_seq: vec![0; n],
                         senders,
                         inbox,
@@ -289,6 +328,9 @@ impl Runtime {
                         recorder: self.tracing.then(Recorder::default),
                         phase_stack: Vec::new(),
                         metrics: MetricsRegistry::default(),
+                        vc: VectorClock::new(n),
+                        delivery: self.delivery,
+                        buffered: 0,
                     };
                     let world = Communicator::world(n);
                     let result = program(&mut proc, &world);
@@ -306,6 +348,7 @@ impl Runtime {
                         proc.phase_end();
                     }
                     let events = proc.recorder.take().map(|r| r.events).unwrap_or_default();
+                    let vc = proc.vc.as_slice().to_vec();
                     (
                         RankResult {
                             result,
@@ -313,22 +356,40 @@ impl Runtime {
                         },
                         events,
                         proc.metrics,
+                        vc,
+                        // Hand the inbox back instead of dropping it: a
+                        // rank that exits early (crash/abort) must not
+                        // disconnect its channel while peers are still
+                        // sending, or those sends would race the thread's
+                        // real-time exit and spuriously fail with
+                        // PeerGone (a rare schedule-dependent flake the
+                        // commcheck explorer caught). Keeping every
+                        // receiver alive until all ranks joined makes
+                        // send-to-a-finished-rank deterministic: the
+                        // message is priced, delivered nowhere, and the
+                        // failure surfaces in *virtual* time through the
+                        // tombstone machinery instead.
+                        proc.inbox,
                     )
                 }));
             }
+            let mut parked_inboxes = Vec::with_capacity(n);
             for (rank, h) in handles.into_iter().enumerate() {
                 match h.join() {
-                    Ok((rr, events, metrics)) => {
+                    Ok((rr, events, metrics, vc, inbox)) => {
                         rank_results[rank] = Some(rr);
                         rank_traces[rank] = events;
                         rank_metrics[rank] = metrics;
+                        rank_vcs[rank] = vc;
+                        parked_inboxes.push(inbox);
                     }
                     Err(p) => std::panic::resume_unwind(p),
                 }
             }
+            drop(parked_inboxes);
         });
 
-        let ranks: Vec<RankResult<T>> =
+        let mut ranks: Vec<RankResult<T>> =
             rank_results.into_iter().map(|r| r.expect("all ranks joined")).collect();
         let makespan =
             ranks.iter().map(|r| r.stats.clock).max().unwrap_or(VirtualTime::ZERO);
@@ -338,7 +399,32 @@ impl Runtime {
         let trace = self
             .tracing
             .then(|| Trace::from_parts(rank_traces.into_iter().flatten().collect()));
-        RunReport { ranks, makespan, totals, trace, metrics: rank_metrics }
+        if let Some(trace) = &trace {
+            // With the analyzer's evidence in hand, upgrade bare wall-clock
+            // timeouts to *named* deadlocks: a rank whose receive timed out
+            // and who sits on a cycle of the trace's wait-for graph was not
+            // merely slow — it was deadlocked, and its error should say on
+            // whom (see `docs/static-analysis.md`).
+            let cycles = trace.deadlock_cycles();
+            if !cycles.is_empty() {
+                for (rank, rr) in ranks.iter_mut().enumerate() {
+                    // Both shapes of an orphaned wait: the timer fired, or
+                    // the peers' threads exited first (the disconnect
+                    // merely raced the timer — see `Process::recv`).
+                    let (r, from) = match &rr.result {
+                        Err(CommError::Timeout { rank: r, from })
+                        | Err(CommError::PeerGone { rank: r, from }) => (*r, *from),
+                        _ => continue,
+                    };
+                    if let Some(cycle) =
+                        cycles.iter().find(|c| c.contains(&rank)).cloned()
+                    {
+                        rr.result = Err(CommError::Deadlock { rank: r, from, cycle });
+                    }
+                }
+            }
+        }
+        RunReport { ranks, makespan, totals, trace, metrics: rank_metrics, vector_clocks: rank_vcs }
     }
 }
 
@@ -851,5 +937,83 @@ mod tests {
             }
         });
         assert!(report.ranks.iter().all(|r| r.result.is_ok()));
+    }
+
+    #[test]
+    fn outcome_splits_the_mixed_case() {
+        // Four ranks, three fates: rank 0 and rank 3 succeed, rank 1
+        // crashes per the failure schedule, rank 2 deadlocks waiting on a
+        // message rank 3 never sends (wall-clock safety net, no tracing —
+        // so the error stays a bare Timeout).
+        let mut rt = tiny_grid(1, 4, 1);
+        rt.set_failure_schedule(
+            FailureSchedule::new(0).crash_rank(1, VirtualTime::from_millis(0.0)),
+        );
+        rt.set_recv_timeout(Duration::from_millis(200));
+        let report = rt.run(|p, _| match p.rank() {
+            1 => {
+                p.compute(1_000_000, None); // trips over its own crash
+                p.send(0, 1, 1.0f64)?;
+                Ok(1.0)
+            }
+            2 => {
+                let x: f64 = p.recv(3, 9)?; // never sent
+                Ok(x)
+            }
+            _ => Ok(f64::from(u32::try_from(p.rank()).unwrap())),
+        });
+        let outcome = report.outcome();
+        assert!(!outcome.is_clean());
+        let survivor_ranks: Vec<usize> =
+            outcome.survivors.iter().map(|(r, _)| *r).collect();
+        assert_eq!(survivor_ranks, vec![0, 3]);
+        assert_eq!(outcome.failed_ranks(), vec![1, 2]);
+        assert!(matches!(
+            outcome.failures[0],
+            (1, CommError::RankFailed { rank: 1, .. })
+        ));
+        assert!(matches!(
+            outcome.failures[1],
+            (2, CommError::Timeout { rank: 2, from: 3 })
+        ));
+        // Everyone's metrics survive the split, survivors and failures alike.
+        assert_eq!(outcome.metrics.len(), 4);
+    }
+
+    #[test]
+    fn deadlock_error_names_the_wait_for_cycle() {
+        // The classic two-rank deadlock: each receives before it sends.
+        // With tracing on, the wall-clock timeouts are upgraded to
+        // `CommError::Deadlock` naming the wait-for cycle the analyzer
+        // extracted from the trace.
+        let mut rt = tiny_grid(1, 2, 1);
+        rt.set_recv_timeout(Duration::from_millis(200));
+        rt.enable_tracing();
+        let report = rt.run(|p, _| {
+            let peer = 1 - p.rank();
+            let x: f64 = p.recv(peer, 1)?; // both block here forever
+            p.send(peer, 1, x)?;
+            Ok(x)
+        });
+        for rank in 0..2 {
+            let err = report.ranks[rank].result.as_ref().unwrap_err();
+            match err {
+                CommError::Deadlock { rank: r, from, cycle } => {
+                    assert_eq!(*r, rank);
+                    assert_eq!(*from, 1 - rank);
+                    assert_eq!(cycle, &vec![0, 1]);
+                }
+                other => panic!("rank {rank}: expected Deadlock, got {other:?}"),
+            }
+            // The rendered message names the cycle explicitly.
+            assert!(
+                err.to_string().contains("wait-for cycle: 0 -> 1 -> 0"),
+                "unexpected message: {err}"
+            );
+        }
+        // The analyzer agrees with the upgraded errors.
+        let hb = report.trace.as_ref().unwrap().hb_analysis();
+        assert_eq!(hb.deadlock_cycles, vec![vec![0, 1]]);
+        assert!(!hb.ok());
     }
 }

@@ -30,6 +30,8 @@ pub enum EventKind {
         bytes: u64,
         /// Link class it travelled on.
         class: LinkClass,
+        /// Program-level protocol tag.
+        tag: u32,
     },
     /// A message was received (opened). The span covers the receiver's
     /// blocked wait: zero-length when the message was already there.
@@ -40,6 +42,13 @@ pub enum EventKind {
         bytes: u64,
         /// Link class it travelled on.
         class: LinkClass,
+        /// Program-level protocol tag.
+        tag: u32,
+        /// True when the receive was a wildcard ([`crate::Process::recv_any`]):
+        /// the source was *not* named by the program, so which sender
+        /// matched depended on delivery order. The happens-before
+        /// analyzer ([`crate::hb`]) treats only these as race candidates.
+        wildcard: bool,
     },
     /// Local computation was charged.
     Compute {
@@ -90,6 +99,13 @@ pub enum FaultKind {
     /// A send to `peer` was priced through an active degradation window
     /// (zero-width marker at send start).
     LinkDegraded,
+    /// The **wall-clock** receive safety net fired while waiting for
+    /// `peer` — the simulator suspects a deadlock (zero-width marker at
+    /// the wait's start; virtual time never advances for wall-clock
+    /// events). The happens-before analyzer ([`crate::hb`]) builds its
+    /// wait-for graph from these markers: a cycle among them is a
+    /// deadlock cycle.
+    DeadlockSuspect,
 }
 
 impl FaultKind {
@@ -112,6 +128,7 @@ impl FaultKind {
             FaultKind::DropSent => "drop-sent",
             FaultKind::DropObserved => "drop-observed",
             FaultKind::LinkDegraded => "link-degraded",
+            FaultKind::DeadlockSuspect => "deadlock-suspect",
         }
     }
 }
@@ -213,14 +230,16 @@ impl Trace {
     /// send whose receiver errored out before opening it) are simply
     /// absent from the result.
     pub fn match_messages(&self) -> Vec<MessageMatch> {
-        use std::collections::HashMap;
+        use std::collections::BTreeMap;
         // Two passes (a receive's *wait* can begin before its message's
         // send even starts, so a single time-ordered scan would miss
         // pairs): collect per-(src, dst) send and recv indices — scan
         // order preserves each rank's program order — then zip k-th
-        // with k-th.
-        let mut sends: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
-        let mut recvs: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+        // with k-th. BTreeMap (not HashMap) so the iteration below is
+        // deterministic — the `commlint` hashmap-iter rule enforces this
+        // for every function on a result path.
+        let mut sends: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+        let mut recvs: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
         for (i, e) in self.events.iter().enumerate() {
             match e.kind {
                 EventKind::Send { to, .. } => sends.entry((e.rank, to)).or_default().push(i),
@@ -246,10 +265,10 @@ impl Trace {
         for e in &self.events {
             let span = format!("[{:>12.6}s ..{:>12.6}s]", e.start.secs(), e.end.secs());
             let what = match &e.kind {
-                EventKind::Send { to, bytes, class } => {
+                EventKind::Send { to, bytes, class, .. } => {
                     format!("send -> {to:<4} {bytes:>10} B  [{}]", class.label())
                 }
-                EventKind::Recv { from, bytes, class } => {
+                EventKind::Recv { from, bytes, class, .. } => {
                     format!("recv <- {from:<4} {bytes:>10} B  [{}]", class.label())
                 }
                 EventKind::Compute { flops } => format!("compute {flops:>14} flops"),
@@ -299,11 +318,11 @@ mod tests {
     }
 
     fn send(to: usize, bytes: u64) -> EventKind {
-        EventKind::Send { to, bytes, class: LinkClass::IntraCluster }
+        EventKind::Send { to, bytes, class: LinkClass::IntraCluster, tag: 0 }
     }
 
     fn recv(from: usize, bytes: u64) -> EventKind {
-        EventKind::Recv { from, bytes, class: LinkClass::IntraCluster }
+        EventKind::Recv { from, bytes, class: LinkClass::IntraCluster, tag: 0, wildcard: false }
     }
 
     #[test]
@@ -322,12 +341,12 @@ mod tests {
     #[test]
     fn wan_filter() {
         let t = Trace::from_parts(vec![
-            ev(0, 0.0, 1.0, EventKind::Send { to: 1, bytes: 8, class: LinkClass::IntraNode }),
+            ev(0, 0.0, 1.0, EventKind::Send { to: 1, bytes: 8, class: LinkClass::IntraNode, tag: 0 }),
             ev(
                 0,
                 1.0,
                 2.0,
-                EventKind::Send { to: 5, bytes: 8, class: LinkClass::InterCluster(0, 1) },
+                EventKind::Send { to: 5, bytes: 8, class: LinkClass::InterCluster(0, 1), tag: 0 },
             ),
         ]);
         assert_eq!(t.wan_sends().len(), 1);

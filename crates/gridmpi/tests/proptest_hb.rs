@@ -1,0 +1,112 @@
+//! Property-based tests of the vector-clock algebra underlying the
+//! happens-before analyzer (`tsqr_gridmpi::hb`): merge is an idempotent,
+//! commutative, associative join with the zero clock as identity; the
+//! component-wise comparison is a genuine partial order (reflexive-equal,
+//! antisymmetric, transitive) consistent with `merge`; and `tick`
+//! strictly advances a clock past everything it has merged — the law
+//! that makes "receive after send" an HB edge.
+
+use proptest::prelude::*;
+
+use tsqr_gridmpi::VectorClock;
+
+const W: usize = 6;
+
+/// An arbitrary clock over at most `W` ranks, with deliberately *ragged*
+/// widths (the algebra must be width-insensitive: missing components
+/// read as zero).
+fn clock() -> impl Strategy<Value = VectorClock> {
+    proptest::collection::vec(0u64..50, 0..W).prop_map(VectorClock::from)
+}
+
+fn merged(a: &VectorClock, b: &VectorClock) -> VectorClock {
+    let mut m = a.clone();
+    m.merge(b);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// merge is commutative: a ⊔ b = b ⊔ a.
+    #[test]
+    fn merge_is_commutative(a in clock(), b in clock()) {
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    /// merge is associative: (a ⊔ b) ⊔ c = a ⊔ (b ⊔ c).
+    #[test]
+    fn merge_is_associative(a in clock(), b in clock(), c in clock()) {
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    }
+
+    /// merge is idempotent with the zero clock as identity.
+    #[test]
+    fn merge_is_idempotent_with_zero_identity(a in clock(), width in 0usize..W) {
+        prop_assert_eq!(merged(&a, &a), a.clone());
+        prop_assert_eq!(merged(&a, &VectorClock::new(width)), a.clone());
+        prop_assert_eq!(merged(&VectorClock::new(width), &a), a);
+    }
+
+    /// merge computes the least upper bound: both arguments precede (or
+    /// equal) the join, and the join is below any other upper bound.
+    #[test]
+    fn merge_is_the_least_upper_bound(a in clock(), b in clock(), c in clock()) {
+        let j = merged(&a, &b);
+        prop_assert!(a == j || a.happens_before(&j));
+        prop_assert!(b == j || b.happens_before(&j));
+        // Any common upper bound dominates the join.
+        let (ub_a, ub_b) = (a == c || a.happens_before(&c), b == c || b.happens_before(&c));
+        if ub_a && ub_b {
+            prop_assert!(j == c || j.happens_before(&c));
+        }
+    }
+
+    /// The comparison is a partial order: equality is width-insensitive
+    /// and agrees with `partial_cmp == Equal`; antisymmetry holds; and
+    /// happens-before is irreflexive.
+    #[test]
+    fn comparison_is_a_partial_order(a in clock(), b in clock()) {
+        use std::cmp::Ordering;
+        // Reflexivity / consistency of eq with partial_cmp.
+        prop_assert_eq!(a.partial_cmp(&a), Some(Ordering::Equal));
+        prop_assert_eq!(a == b, a.partial_cmp(&b) == Some(Ordering::Equal));
+        // Antisymmetry: a < b and b < a cannot both hold.
+        prop_assert!(!(a.happens_before(&b) && b.happens_before(&a)));
+        // Irreflexivity of the strict order.
+        prop_assert!(!a.happens_before(&a));
+        // Exactly one of: equal, <, >, concurrent.
+        let classes = [
+            a == b,
+            a.happens_before(&b),
+            b.happens_before(&a),
+            a.concurrent_with(&b),
+        ];
+        prop_assert_eq!(classes.iter().filter(|&&x| x).count(), 1);
+    }
+
+    /// Transitivity: a < b and b < c imply a < c.
+    #[test]
+    fn happens_before_is_transitive(a in clock(), b in clock(), c in clock()) {
+        let ab = merged(&a, &b);
+        let mut bc = merged(&ab, &c);
+        bc.tick(0);
+        // By construction a ≤ ab < bc; check the strict chain when it exists.
+        if a.happens_before(&ab) && ab.happens_before(&bc) {
+            prop_assert!(a.happens_before(&bc));
+        }
+        prop_assert!(ab.happens_before(&bc));
+    }
+
+    /// `tick` after `merge` strictly advances past both inputs — the
+    /// send/receive law: a receive that merges the sender's stamp and
+    /// ticks is causally after both the send and its own past.
+    #[test]
+    fn tick_after_merge_is_strictly_later(a in clock(), b in clock(), rank in 0usize..W) {
+        let mut r = merged(&a, &b);
+        r.tick(rank);
+        prop_assert!(a.happens_before(&r));
+        prop_assert!(b.happens_before(&r));
+        prop_assert!(r.get(rank) >= 1);
+    }
+}

@@ -1,0 +1,649 @@
+//! `commlint` — the static half of commcheck (see
+//! `docs/static-analysis.md`).
+//!
+//! A dependency-free source lint that denies the three ways a rank
+//! program (or the runtime under it) can silently become
+//! schedule-dependent, plus a protocol-table check on message tags:
+//!
+//! * **wall-clock** — `Instant::now`, `SystemTime` and blocking
+//!   `.recv_timeout(` calls outside the allowlisted wall-clock safety
+//!   net. Virtual-time paths must never read the wall clock.
+//! * **hashmap-iter** — iteration (`.iter()`, `.keys()`, `.values()`,
+//!   `.drain(…)`, `for … in`) over bindings typed `HashMap`/`HashSet`:
+//!   the order is seeded per process, so anything derived from it is
+//!   nondeterministic. Use `BTreeMap`/`BTreeSet` or sort before
+//!   draining.
+//! * **wildcard-recv** — `.recv_any(` outside test code: a wildcard
+//!   receive makes the matched sender delivery-order-dependent.
+//! * **tag-protocol** — every protocol file's `const TAG_*` declarations
+//!   must match the declared table (`scripts/commlint.protocol`)
+//!   exactly, and every tag must appear on both a send side and a
+//!   receive side.
+//!
+//! The scanner strips comments and string literals first and truncates
+//! each file at its trailing `#[cfg(test)]` module (repo convention), so
+//! only shipped code is linted. Findings are suppressed by
+//! `scripts/commlint.allow` lines of the form `rule path-substring`.
+//!
+//! This tool is intentionally `syn`-free: the workspace builds offline
+//! with no external dependencies, so the lint is a line-level token
+//! scanner. It is conservative where it must guess.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One lint hit.
+#[derive(Debug, Clone)]
+struct Finding {
+    rule: &'static str,
+    path: String,
+    line: usize,
+    message: String,
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut verbose = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = PathBuf::from(args.next().expect("--root needs a value")),
+            "-v" | "--verbose" => verbose = true,
+            "--help" | "-h" => {
+                println!("usage: commlint [--root DIR] [-v]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("commlint: unknown argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let allow = load_allowlist(&root.join("scripts/commlint.allow"));
+    let protocol = load_protocol(&root.join("scripts/commlint.protocol"));
+
+    let mut files = Vec::new();
+    collect_rs(&root.join("crates"), &mut files);
+    collect_rs(&root.join("src"), &mut files);
+    files.sort();
+
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for f in &files {
+        let rel = f.strip_prefix(&root).unwrap_or(f).to_string_lossy().replace('\\', "/");
+        if rel.contains("/tests/") || rel.contains("/benches/") || rel.contains("/examples/") {
+            continue;
+        }
+        let Ok(raw) = fs::read_to_string(f) else { continue };
+        scanned += 1;
+        let code = strip_noncode(&raw);
+        let code = truncate_at_test_module(&code);
+        if verbose {
+            eprintln!("commlint: scanning {rel}");
+        }
+        lint_wall_clock(&rel, code, &mut findings);
+        lint_hashmap_iter(&rel, code, &mut findings);
+        lint_wildcard_recv(&rel, code, &mut findings);
+        if let Some(expected) = protocol.iter().find(|p| p.path == rel) {
+            lint_tag_protocol(&rel, code, expected, &mut findings);
+        }
+    }
+    // Protocol files that vanished are a protocol violation too.
+    for p in &protocol {
+        if !files.iter().any(|f| {
+            f.strip_prefix(&root).unwrap_or(f).to_string_lossy().replace('\\', "/") == p.path
+        }) {
+            findings.push(Finding {
+                rule: "tag-protocol",
+                path: p.path.clone(),
+                line: 0,
+                message: "file listed in commlint.protocol does not exist".into(),
+            });
+        }
+    }
+
+    let (kept, suppressed): (Vec<_>, Vec<_>) =
+        findings.into_iter().partition(|f| !allow.iter().any(|a| a.matches(f)));
+
+    for f in &kept {
+        println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+    }
+    println!(
+        "commlint: {} file(s) scanned, {} finding(s), {} suppressed by allowlist",
+        scanned,
+        kept.len(),
+        suppressed.len()
+    );
+    if kept.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+// ---------------------------------------------------------------- rules
+
+const ITER_SUFFIXES: [&str; 7] =
+    [".iter()", ".iter_mut()", ".keys()", ".values()", ".values_mut()", ".into_iter()", ".drain("];
+
+fn lint_wall_clock(path: &str, code: &str, out: &mut Vec<Finding>) {
+    for (ln, line) in code.lines().enumerate() {
+        for pat in ["Instant::now", "SystemTime"] {
+            if line.contains(pat) {
+                out.push(Finding {
+                    rule: "wall-clock",
+                    path: path.to_string(),
+                    line: ln + 1,
+                    message: format!(
+                        "`{pat}` in a virtual-time codebase — wall-clock reads break replay \
+                         determinism (allowlist only the simulator safety net)"
+                    ),
+                });
+            }
+        }
+        if line.contains(".recv_timeout(") {
+            out.push(Finding {
+                rule: "wall-clock",
+                path: path.to_string(),
+                line: ln + 1,
+                message: "blocking `.recv_timeout(` — wall-clock wait outside the allowlisted \
+                          deadlock safety net"
+                    .into(),
+            });
+        }
+    }
+}
+
+fn lint_hashmap_iter(path: &str, code: &str, out: &mut Vec<Finding>) {
+    // Pass 1: names bound to HashMap/HashSet in this file.
+    let mut names: Vec<String> = Vec::new();
+    for line in code.lines() {
+        let mut rest = line;
+        while let Some(i) = rest.find("let ") {
+            let after = &rest[i + 4..];
+            let after = after.strip_prefix("mut ").unwrap_or(after);
+            let name: String =
+                after.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+            if !name.is_empty()
+                && (after[name.len()..].contains("HashMap") || after[name.len()..].contains("HashSet"))
+            {
+                names.push(name);
+            }
+            rest = &rest[i + 4..];
+        }
+    }
+    names.sort();
+    names.dedup();
+    // Pass 2: iteration over a tracked name.
+    for (ln, line) in code.lines().enumerate() {
+        for name in &names {
+            for suf in ITER_SUFFIXES {
+                let pat = format!("{name}{suf}");
+                if occurs_as_ident_use(line, name, &pat) {
+                    out.push(Finding {
+                        rule: "hashmap-iter",
+                        path: path.to_string(),
+                        line: ln + 1,
+                        message: format!(
+                            "iteration over `{name}` (HashMap/HashSet): order is seeded per \
+                             process — use BTreeMap/BTreeSet or sort before draining"
+                        ),
+                    });
+                }
+            }
+            for pat in [format!("in {name} "), format!("in &{name} "), format!("in &mut {name} ")] {
+                let probe = format!("{line} ");
+                if probe.contains(&pat) && line.contains("for ") {
+                    out.push(Finding {
+                        rule: "hashmap-iter",
+                        path: path.to_string(),
+                        line: ln + 1,
+                        message: format!("`for … in {name}` iterates a HashMap/HashSet"),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// True when `pat` occurs in `line` and the character before the match is
+/// not part of a longer identifier (so `sends.iter()` doesn't match the
+/// tracked name `ends`).
+fn occurs_as_ident_use(line: &str, _name: &str, pat: &str) -> bool {
+    let mut from = 0;
+    while let Some(i) = line[from..].find(pat) {
+        let at = from + i;
+        let before_ok = at == 0 || {
+            let c = line[..at].chars().next_back().unwrap();
+            !(c.is_alphanumeric() || c == '_' || c == '.')
+        };
+        if before_ok {
+            return true;
+        }
+        from = at + pat.len();
+    }
+    false
+}
+
+fn lint_wildcard_recv(path: &str, code: &str, out: &mut Vec<Finding>) {
+    for (ln, line) in code.lines().enumerate() {
+        if line.contains(".recv_any(") || line.contains(".recv_any::<") {
+            out.push(Finding {
+                rule: "wildcard-recv",
+                path: path.to_string(),
+                line: ln + 1,
+                message: "wildcard receive — the matched sender depends on delivery order; \
+                          name the source or move this into test code"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// A declared protocol entry for one file.
+#[derive(Debug, Clone)]
+struct ProtocolFile {
+    path: String,
+    /// `(tag name, normalized value)` pairs.
+    tags: Vec<(String, String)>,
+}
+
+fn lint_tag_protocol(path: &str, code: &str, expected: &ProtocolFile, out: &mut Vec<Finding>) {
+    // Extract `const TAG_*: u32 = VALUE;` declarations.
+    let mut declared: Vec<(String, String, usize)> = Vec::new();
+    for (ln, line) in code.lines().enumerate() {
+        let Some(ci) = line.find("const TAG_") else { continue };
+        let decl = &line[ci + 6..];
+        let name: String =
+            decl.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+        let Some(eq) = decl.find('=') else { continue };
+        let value: String = decl[eq + 1..]
+            .trim()
+            .trim_end_matches(';')
+            .trim()
+            .chars()
+            .filter(|c| *c != '_')
+            .collect::<String>()
+            .to_lowercase();
+        declared.push((name, value, ln + 1));
+    }
+    for (name, value, ln) in &declared {
+        match expected.tags.iter().find(|(n, _)| n == name) {
+            None => out.push(Finding {
+                rule: "tag-protocol",
+                path: path.to_string(),
+                line: *ln,
+                message: format!(
+                    "tag `{name}` is not in scripts/commlint.protocol — declare it there"
+                ),
+            }),
+            Some((_, want)) if want != value => out.push(Finding {
+                rule: "tag-protocol",
+                path: path.to_string(),
+                line: *ln,
+                message: format!("tag `{name}` = {value} but the protocol table says {want}"),
+            }),
+            _ => {}
+        }
+    }
+    for (name, _) in &expected.tags {
+        let Some((_, _, decl_ln)) = declared.iter().find(|(n, _, _)| n == name) else {
+            out.push(Finding {
+                rule: "tag-protocol",
+                path: path.to_string(),
+                line: 0,
+                message: format!("tag `{name}` is in the protocol table but not declared here"),
+            });
+            continue;
+        };
+        // Pairing: the tag must be used on a send side and a receive
+        // side (exchange counts as both). Look back a short window from
+        // each use for the call name, so multi-line calls still match.
+        let (mut send_side, mut recv_side) = (false, false);
+        let bytes = code.as_bytes();
+        let mut from = 0;
+        while let Some(i) = code[from..].find(name.as_str()) {
+            let at = from + i;
+            from = at + name.len();
+            // Skip the declaration itself and longer identifiers.
+            let line_no = code[..at].bytes().filter(|&b| b == b'\n').count() + 1;
+            let before_ok = at == 0 || {
+                let c = bytes[at - 1] as char;
+                !(c.is_alphanumeric() || c == '_')
+            };
+            let after_ok = at + name.len() >= code.len() || {
+                let c = bytes[at + name.len()] as char;
+                !(c.is_alphanumeric() || c == '_')
+            };
+            if !before_ok || !after_ok || line_no == *decl_ln {
+                continue;
+            }
+            let window_start = at.saturating_sub(240);
+            let window = &code[window_start..at];
+            if window.contains("send(") || window.contains("exchange(") || window.contains("exchange::<") {
+                send_side = true;
+            }
+            if window.contains("recv(")
+                || window.contains("recv::<")
+                || window.contains("recv_any")
+                || window.contains("exchange(")
+                || window.contains("exchange::<")
+            {
+                recv_side = true;
+            }
+        }
+        if !send_side || !recv_side {
+            let mut sides = String::new();
+            if !send_side {
+                let _ = write!(sides, "no send-side use");
+            }
+            if !recv_side {
+                if !sides.is_empty() {
+                    sides.push_str(", ");
+                }
+                let _ = write!(sides, "no recv-side use");
+            }
+            out.push(Finding {
+                rule: "tag-protocol",
+                path: path.to_string(),
+                line: *decl_ln,
+                message: format!("tag `{name}` is unpaired: {sides}"),
+            });
+        }
+    }
+}
+
+// ------------------------------------------------------------ scaffolding
+
+/// One allowlist entry: suppresses `rule` findings in paths containing
+/// `path_part`.
+#[derive(Debug, Clone)]
+struct Allow {
+    rule: String,
+    path_part: String,
+}
+
+impl Allow {
+    fn matches(&self, f: &Finding) -> bool {
+        f.rule == self.rule && f.path.contains(&self.path_part)
+    }
+}
+
+fn load_allowlist(path: &Path) -> Vec<Allow> {
+    let Ok(text) = fs::read_to_string(path) else { return Vec::new() };
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let mut it = l.split_whitespace();
+            Some(Allow { rule: it.next()?.to_string(), path_part: it.next()?.to_string() })
+        })
+        .collect()
+}
+
+fn load_protocol(path: &Path) -> Vec<ProtocolFile> {
+    let Ok(text) = fs::read_to_string(path) else { return Vec::new() };
+    let mut out: Vec<ProtocolFile> = Vec::new();
+    for l in text.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with('#')) {
+        let mut it = l.split_whitespace();
+        let (Some(file), Some(tag), Some(value)) = (it.next(), it.next(), it.next()) else {
+            continue;
+        };
+        let value = value.chars().filter(|c| *c != '_').collect::<String>().to_lowercase();
+        match out.iter_mut().find(|p| p.path == file) {
+            Some(p) => p.tags.push((tag.to_string(), value)),
+            None => out.push(ProtocolFile {
+                path: file.to_string(),
+                tags: vec![(tag.to_string(), value)],
+            }),
+        }
+    }
+    out
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            if p.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Replaces comments, string literals and char literals with spaces
+/// (newlines preserved, so line numbers survive).
+fn strip_noncode(src: &str) -> String {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        Line,
+        Block(u32),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let b: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut st = St::Code;
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        let next = b.get(i + 1).copied();
+        match st {
+            St::Code => {
+                if c == '/' && next == Some('/') {
+                    st = St::Line;
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    st = St::Block(1);
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == 'r' && (next == Some('"') || next == Some('#')) {
+                    // Raw string r"…" / r#"…"# / r##"…"## …
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while b.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&'"') {
+                        st = St::RawStr(hashes);
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        i = j + 1;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    st = St::Str;
+                    out.push(' ');
+                    i += 1;
+                } else if c == '\'' {
+                    // Lifetime or char literal?
+                    let is_char = match next {
+                        Some('\\') => true,
+                        Some(_) => b.get(i + 2) == Some(&'\''),
+                        None => false,
+                    };
+                    if is_char {
+                        st = St::Char;
+                        out.push(' ');
+                        i += 1;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            St::Line => {
+                if c == '\n' {
+                    st = St::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                i += 1;
+            }
+            St::Block(depth) => {
+                if c == '*' && next == Some('/') {
+                    st = if depth == 1 { St::Code } else { St::Block(depth - 1) };
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    st = St::Block(depth + 1);
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    st = St::Code;
+                    out.push(' ');
+                    i += 1;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut n = 0;
+                    while n < hashes && b.get(j) == Some(&'#') {
+                        n += 1;
+                        j += 1;
+                    }
+                    if n == hashes {
+                        st = St::Code;
+                        for _ in i..j {
+                            out.push(' ');
+                        }
+                        i = j;
+                        continue;
+                    }
+                }
+                out.push(if c == '\n' { '\n' } else { ' ' });
+                i += 1;
+            }
+            St::Char => {
+                if c == '\\' {
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    st = St::Code;
+                    out.push(' ');
+                    i += 1;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Cuts the file at its trailing `#[cfg(test)]` module (repo convention:
+/// unit tests live in one `mod tests` at the bottom).
+fn truncate_at_test_module(code: &str) -> &str {
+    match code.find("#[cfg(test)]") {
+        Some(i) => &code[..i],
+        None => code,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripper_preserves_lines_and_drops_strings() {
+        let src = "let a = \"Instant::now\"; // Instant::now\nlet b = 1;\n";
+        let s = strip_noncode(src);
+        assert_eq!(s.lines().count(), src.lines().count());
+        assert!(!s.contains("Instant::now"));
+        assert!(s.contains("let b = 1;"));
+    }
+
+    #[test]
+    fn stripper_handles_raw_strings_and_chars() {
+        let src = "let r = r#\"HashMap \"quoted\" inside\"#; let c = '\\n'; let l: &'static str;";
+        let s = strip_noncode(src);
+        assert!(!s.contains("HashMap"));
+        assert!(s.contains("&'static str"));
+    }
+
+    #[test]
+    fn wall_clock_rule_fires() {
+        let mut f = Vec::new();
+        lint_wall_clock("x.rs", "let t = Instant::now();\nlet y = inbox.recv_timeout(d);\n", &mut f);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|x| x.rule == "wall-clock"));
+        // set_recv_timeout is a configuration call, not a wall-clock wait.
+        let mut g = Vec::new();
+        lint_wall_clock("x.rs", "rt.set_recv_timeout(d);\n", &mut g);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn hashmap_iter_rule_tracks_bindings() {
+        let code = "let mut m: HashMap<u32, u32> = HashMap::new();\n\
+                    for k in m.keys() { }\n\
+                    let ok: BTreeMap<u32, u32> = BTreeMap::new();\n\
+                    for k in ok.keys() { }\n";
+        let mut f = Vec::new();
+        lint_hashmap_iter("x.rs", code, &mut f);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn wildcard_recv_rule_fires() {
+        let mut f = Vec::new();
+        lint_wildcard_recv("x.rs", "let (s, m) = p.recv_any::<f64>(1)?;\n", &mut f);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn tag_protocol_checks_values_and_pairing() {
+        let expected = ProtocolFile {
+            path: "x.rs".into(),
+            tags: vec![("TAG_A".into(), "1001".into()), ("TAG_B".into(), "1002".into())],
+        };
+        let code = "const TAG_A: u32 = 1001;\nconst TAG_B: u32 = 9;\n\
+                    p.send(1, TAG_A, x)?;\nlet y: f64 = p.recv(0, TAG_A)?;\n";
+        let mut f = Vec::new();
+        lint_tag_protocol("x.rs", code, &expected, &mut f);
+        // TAG_B: wrong value + unpaired (no uses at all).
+        assert!(f.iter().any(|x| x.message.contains("TAG_B") && x.message.contains("1002")));
+        assert!(f.iter().any(|x| x.message.contains("unpaired")));
+        assert!(!f.iter().any(|x| x.message.contains("`TAG_A`")), "{f:?}");
+    }
+
+    #[test]
+    fn truncates_at_test_module() {
+        let code = "fn a() {}\n#[cfg(test)]\nmod tests { Instant::now; }\n";
+        assert!(!truncate_at_test_module(code).contains("Instant"));
+    }
+}

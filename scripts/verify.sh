@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Full local verification: build, every test, clippy with warnings
 # denied, rustdoc with warnings denied (the gridmpi/netsim crates
-# enforce #![warn(missing_docs)]), and the doctests on their own (they
+# enforce #![warn(missing_docs)]), the doctests on their own (they
 # exercise the public examples in the API docs, e.g. the
-# metrics-registry example).
+# metrics-registry example), the commlint static scan, the commcheck
+# happens-before gate, and the fault-matrix smoke.
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -23,6 +24,14 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
 echo "==> cargo test --doc --workspace"
 cargo test -q --doc --workspace
+
+echo "==> commlint (static determinism lint: wall clock, HashMap iteration,"
+echo "    wildcard receives, tag protocol; see docs/static-analysis.md)"
+cargo run --release -q -p tsqr-lint --bin commlint
+
+echo "==> commcheck (happens-before gate: figure scenarios + fault matrix"
+echo "    + DPOR-lite explorer, pinned against COMMCHECK_baseline.txt)"
+./target/release/grid-tsqr check --recv-timeout 60 --golden COMMCHECK_baseline.txt
 
 echo "==> fault-matrix smoke (self-healing TSQR via the CLI)"
 # Crash one representative rank of every tree level on the 4-site grid

@@ -14,6 +14,8 @@
 //!                     [--drop SRC:DST:NTH ...] [--drop-prob SRC:DST:P ...]
 //!                     [--wan-slow FROM_MS:UNTIL_MS:LATx:BWx] [--fault-seed 1]
 //!                     [--baseline]
+//! grid-tsqr check     [--m 65536 --n 32] [--sites 4] [--no-matrix]
+//!                     [--no-explore] [--golden COMMCHECK_baseline.txt] [--bless]
 //! ```
 //!
 //! By default experiments run symbolically (paper scale in milliseconds)
@@ -32,6 +34,16 @@
 //! failure-free run; `--baseline` additionally shows how the plain
 //! program fails (typed, structured — no panic) under the same schedule.
 //! See `docs/fault-injection.md`.
+//!
+//! `check` is the **commcheck** gate (`docs/static-analysis.md`): it runs
+//! the figure-style scenarios and the fault matrix with tracing on, feeds
+//! every trace through the happens-before analyzer
+//! (`gridmpi::hb`) — receive races, deadlock cycles, clock monotonicity —
+//! and runs the DPOR-lite schedule explorer (`gridmpi::explore`) on a
+//! dedicated 8-rank grid, proving the TSQR result bit-identical under
+//! every permuted delivery order. One structural summary line per
+//! scenario is compared against the blessed `COMMCHECK_baseline.txt`
+//! (regenerate with `--bless`), exactly like the benchmark gate.
 //!
 //! Every subcommand accepts `--recv-timeout <seconds>`: the *wall-clock*
 //! deadlock safety net of the simulator (failure *detection* happens in
@@ -52,10 +64,12 @@ use grid_tsqr::core::modelfit;
 use grid_tsqr::core::tree::{ReductionTree, TreeShape};
 use grid_tsqr::core::tsqr::{tsqr_rank_program, TsqrConfig};
 use grid_tsqr::core::workload;
-use grid_tsqr::gridmpi::Runtime;
+use grid_tsqr::gridmpi::{explore, fnv1a, schedules_for, HbReport, Runtime};
 use grid_tsqr::linalg::prelude::QrFactors;
 use grid_tsqr::linalg::verify::r_distance;
-use grid_tsqr::netsim::{FailureSchedule, VirtualTime};
+use grid_tsqr::netsim::{
+    ClusterSpec, CostModel, FailureSchedule, GridTopology, LinkParams, VirtualTime,
+};
 use tsqr_bench::{calib, grid_runtime};
 
 struct Args {
@@ -126,6 +140,8 @@ fn usage() -> ExitCode {
          \x20                     [--crash RANK@MS ...] [--drop SRC:DST:NTH ...]\n\
          \x20                     [--drop-prob SRC:DST:P ...] [--wan-slow FROM_MS:UNTIL_MS:LATx:BWx]\n\
          \x20                     [--baseline]\n\
+         \x20 grid-tsqr check     [--m <rows> --n <cols>] [--sites 1..4] [--no-matrix]\n\
+         \x20                     [--no-explore] [--golden <baseline.txt>] [--bless]\n\
          \n\
          Every subcommand accepts --recv-timeout <seconds> (wall-clock deadlock\n\
          safety net; failure detection itself runs in virtual time).\n\
@@ -138,7 +154,12 @@ fn usage() -> ExitCode {
          trace prints the critical path and per-phase Eq. (1) ledger of one\n\
          run; --out writes Chrome-trace JSON for ui.perfetto.dev.\n\
          analyze prints the wait-state breakdown, link utilization, the\n\
-         communication matrix and the Eq. (1) model fit of one run.\n"
+         communication matrix and the Eq. (1) model fit of one run.\n\
+         check runs every figure scenario and the fault matrix under the\n\
+         happens-before analyzer (races, deadlock cycles, clock violations)\n\
+         and the DPOR-lite schedule explorer (8-rank determinism proof);\n\
+         --golden compares one structural line per scenario against the\n\
+         blessed baseline, --bless regenerates it. See docs/static-analysis.md.\n"
     );
     ExitCode::from(2)
 }
@@ -561,6 +582,265 @@ fn run() -> Result<String, String> {
                     ));
                 }
             }
+            Ok(out)
+        }
+        "check" => {
+            // commcheck: every scenario runs with tracing on, every trace
+            // goes through the happens-before analyzer, and the structural
+            // summary lines are gated against a blessed golden file — the
+            // race/deadlock analogue of `scripts/bench_check.sh`.
+            //
+            // Sizes default *small* (the golden file is blessed at exactly
+            // these defaults): the analyzer checks structure, not speed.
+            let m: u64 = args.num("m", 1u64 << 16)?;
+            let n: usize = args.num("n", 32usize)?;
+            let run_matrix = !args.has("no-matrix");
+            let run_explore = !args.has("no-explore");
+            let golden = args.get("golden");
+            let bless = args.has("bless");
+            if (golden.is_some() || bless) && !(run_matrix && run_explore) {
+                return Err(
+                    "--golden/--bless gate the full scenario set; drop --no-matrix/--no-explore"
+                        .into(),
+                );
+            }
+
+            let (rate, combine) = rates(n);
+            // (name, summary line) in a fixed order — this is the golden
+            // file body. `bad` collects full renderings of any scenario
+            // whose HbReport is not clean.
+            let mut lines: Vec<String> = Vec::new();
+            let mut bad: Vec<String> = Vec::new();
+            let mut record = |name: &str, hb: &HbReport| {
+                lines.push(format!("{name:<22} {}", hb.summary_line()));
+                if !hb.ok() {
+                    bad.push(format!("{name}:\n{}", hb.render()));
+                }
+            };
+
+            // --- Figure-style scenarios (§V, Figs. 4–8): each tree shape
+            // and both ScaLAPACK baselines, traced, symbolic numerics
+            // (the schedule — and therefore the HB DAG — is identical to
+            // the real-numerics run by construction).
+            let figure = |algorithm: Algorithm, comb: Option<f64>| -> Result<HbReport, String> {
+                let mut trt = grid_runtime(sites);
+                if let Some(secs) = recv_timeout {
+                    trt.set_recv_timeout(std::time::Duration::from_secs_f64(secs));
+                }
+                trt.enable_tracing();
+                let res = run_experiment(
+                    &trt,
+                    &Experiment {
+                        m,
+                        n,
+                        algorithm,
+                        compute_q: false,
+                        mode: Mode::Symbolic,
+                        rate_flops: rate,
+                        combine_rate_flops: comb,
+                    },
+                );
+                let trace = res
+                    .trace
+                    .as_ref()
+                    .ok_or_else(|| "tracing was enabled but no trace came back".to_string())?;
+                Ok(trace.hb_analysis())
+            };
+            for (name, shape) in [
+                ("tsqr-grid", TreeShape::GridHierarchical),
+                ("tsqr-binary", TreeShape::Binary),
+                ("tsqr-flat", TreeShape::Flat),
+            ] {
+                let hb = figure(Algorithm::Tsqr { shape, domains_per_cluster: 64 }, combine)?;
+                record(name, &hb);
+            }
+            let hb = figure(
+                Algorithm::Tsqr {
+                    shape: TreeShape::GridHierarchical,
+                    domains_per_cluster: 16,
+                },
+                combine,
+            )?;
+            record("tsqr-grid-d16", &hb);
+            let hb = figure(Algorithm::ScalapackQr2, None)?;
+            record("scalapack-qr2", &hb);
+            let hb = figure(Algorithm::ScalapackQrf { nb: 64, nx: 128 }, None)?;
+            record("scalapack-blocked", &hb);
+
+            // --- The fault matrix of `scripts/verify.sh`: the self-healing
+            // TSQR under every schedule the fault-injection PR gates, each
+            // trace analyzed. Crash schedules legitimately orphan sends
+            // (counted in the summary line); races/cycles/violations must
+            // still be zero.
+            if run_matrix {
+                let dpc = rt.topology().num_procs() / sites;
+                let layout = DomainLayout::build(rt.topology(), m, n, dpc);
+                let tree = ReductionTree::build(
+                    TreeShape::GridHierarchical,
+                    layout.num_domains(),
+                    &layout.clusters(),
+                );
+                let cfg = TsqrConfig {
+                    shape: TreeShape::GridHierarchical,
+                    domains_per_cluster: dpc,
+                    compute_q: false,
+                    combine_rate_flops: combine,
+                    ..Default::default()
+                };
+                let fault = |schedule: FailureSchedule| -> Result<HbReport, String> {
+                    let mut frt = grid_runtime(sites);
+                    if let Some(secs) = recv_timeout {
+                        frt.set_recv_timeout(std::time::Duration::from_secs_f64(secs));
+                    }
+                    frt.enable_tracing();
+                    frt.set_failure_schedule(schedule);
+                    let report =
+                        frt.run(|p, _| ft_tsqr_rank_program(p, &layout, &tree, &cfg, seed, rate));
+                    let hb = report
+                        .trace
+                        .as_ref()
+                        .ok_or_else(|| "tracing was enabled but no trace came back".to_string())?
+                        .hb_analysis();
+                    let outcome = report.outcome();
+                    if !outcome.survivors.iter().any(|(_, o)| o.r.is_some()) {
+                        return Err("no survivor holds an R factor — recovery failed".into());
+                    }
+                    Ok(hb)
+                };
+                let at = |ms: f64| VirtualTime::from_secs(ms * 1e-3);
+                record("faults-none", &fault(FailureSchedule::new(1))?);
+                for (r, ms) in
+                    [(255usize, 0.5), (2, 2.0), (64, 2.0), (128, 6.0), (0, 6.0)]
+                {
+                    let hb = fault(FailureSchedule::new(1).crash_rank(r, at(ms)))?;
+                    record(&format!("faults-crash-{r}"), &hb);
+                }
+                let hb = fault(
+                    FailureSchedule::new(1).crash_rank(0, at(2.0)).crash_rank(1, at(4.0)),
+                )?;
+                record("faults-crash-0+1", &hb);
+                let hb = fault(
+                    FailureSchedule::new(7)
+                        .drop_probability(64, 0, 0.4)
+                        .degrade_all_wan(at(0.0), at(50.0), 4.0, 4.0),
+                )?;
+                record("faults-drop-wan", &hb);
+            }
+
+            // --- DPOR-lite determinism proof on a dedicated 8-rank grid
+            // (P ≤ 8 is the exhaustive regime of `schedules_for`): run the
+            // real-numerics TSQR under every permuted delivery order and
+            // require bit-identical R, makespan, metrics — plus race-free
+            // traces, so unexplored interleavings cannot differ either.
+            if run_explore {
+                let small_topo = || {
+                    GridTopology::block_placement(
+                        vec![
+                            ClusterSpec {
+                                name: "expl-a".into(),
+                                nodes: 4,
+                                procs_per_node: 1,
+                                peak_gflops_per_proc: 8.0,
+                            },
+                            ClusterSpec {
+                                name: "expl-b".into(),
+                                nodes: 4,
+                                procs_per_node: 1,
+                                peak_gflops_per_proc: 8.0,
+                            },
+                        ],
+                        4,
+                        1,
+                    )
+                };
+                let small_model =
+                    CostModel::homogeneous(LinkParams::from_ms_mbps(0.5, 800.0), 1e9, 2);
+                let slayout = DomainLayout::build(&small_topo(), 4096, 8, 4);
+                let stree = ReductionTree::build(
+                    TreeShape::GridHierarchical,
+                    slayout.num_domains(),
+                    &slayout.clusters(),
+                );
+                let scfg = TsqrConfig {
+                    shape: TreeShape::GridHierarchical,
+                    domains_per_cluster: 4,
+                    compute_q: false,
+                    combine_rate_flops: None,
+                    ..Default::default()
+                };
+                let rep = explore(
+                    || Runtime::new(small_topo(), small_model.clone()),
+                    |p, _| tsqr_rank_program(p, &slayout, &stree, &scfg, seed, None),
+                    |o| {
+                        o.r.as_ref().map_or(0, |r| {
+                            let mut bytes = Vec::with_capacity(r.as_slice().len() * 8);
+                            for x in r.as_slice() {
+                                bytes.extend_from_slice(&x.to_bits().to_le_bytes());
+                            }
+                            fnv1a(&bytes)
+                        })
+                    },
+                    &schedules_for(8),
+                );
+                let yn = |b: bool| if b { "yes" } else { "no" };
+                lines.push(format!(
+                    "{:<22} schedules={} identical={} hb_clean={} proved={}",
+                    "explore-tsqr-p8",
+                    rep.schedules(),
+                    yn(rep.all_identical()),
+                    yn(rep.hb_ok()),
+                    yn(rep.proves_determinism()),
+                ));
+                if !rep.proves_determinism() {
+                    bad.push(format!("explore-tsqr-p8:\n{}", rep.render()));
+                }
+            }
+
+            if !bad.is_empty() {
+                return Err(format!("commcheck found problems:\n{}", bad.join("\n")));
+            }
+
+            let mut out = String::from("== commcheck: happens-before analysis ==\n");
+            let body: String = lines.iter().flat_map(|l| [l.as_str(), "\n"]).collect();
+            out.push_str(&body);
+            if bless {
+                let path = golden.unwrap_or("COMMCHECK_baseline.txt");
+                std::fs::write(path, &body)
+                    .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+                out.push_str(&format!(
+                    "blessed {} scenario line(s) into {path}\n",
+                    lines.len()
+                ));
+            } else if let Some(path) = golden {
+                let want = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path:?}: {e}"))?;
+                if want != body {
+                    let want_lines: Vec<&str> = want.lines().collect();
+                    let got_lines: Vec<&str> = body.lines().collect();
+                    let mut diff = String::new();
+                    for i in 0..want_lines.len().max(got_lines.len()) {
+                        let w = want_lines.get(i).copied().unwrap_or("<missing>");
+                        let g = got_lines.get(i).copied().unwrap_or("<missing>");
+                        if w != g {
+                            diff.push_str(&format!(
+                                "  line {}:\n    baseline: {w}\n    current:  {g}\n",
+                                i + 1
+                            ));
+                        }
+                    }
+                    return Err(format!(
+                        "commcheck summary differs from {path} \
+                         (re-bless with `grid-tsqr check --bless` if intended):\n{diff}"
+                    ));
+                }
+                out.push_str(&format!(
+                    "all {} scenario line(s) match {path}\n",
+                    lines.len()
+                ));
+            }
+            out.push_str(
+                "commcheck: 0 races, 0 deadlock cycles, 0 clock violations across all scenarios\n",
+            );
             Ok(out)
         }
         other => Err(format!("unknown command {other:?}")),
