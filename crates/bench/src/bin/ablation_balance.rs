@@ -35,7 +35,7 @@ fn run(layout: &DomainLayout, rt: &Runtime, rates: &[f64]) -> f64 {
         domains_per_cluster: 16,
         ..Default::default()
     };
-    let tree = ReductionTree::build(cfg.shape, layout.num_domains(), &layout.clusters());
+    let tree = ReductionTree::build(&cfg.shape, layout.num_domains(), &layout.clusters());
     let report = rt.run(|p, _| {
         let rate = rates[p.cluster()];
         tsqr_rank_program_symbolic(p, layout, &tree, &cfg, Some(rate))

@@ -60,7 +60,7 @@ fn run_tsqr(rt: &Runtime, a: &Matrix) -> (Matrix, f64, u64) {
     let procs = rt.topology().num_procs() / rt.topology().num_clusters();
     let layout = DomainLayout::build(rt.topology(), m as u64, n, procs);
     let tree =
-        ReductionTree::build(TreeShape::GridHierarchical, layout.num_domains(), &layout.clusters());
+        ReductionTree::build(&TreeShape::GridHierarchical, layout.num_domains(), &layout.clusters());
     let cfg = TsqrConfig {
         shape: TreeShape::GridHierarchical,
         domains_per_cluster: procs,

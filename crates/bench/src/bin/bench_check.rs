@@ -21,7 +21,7 @@ use std::process::ExitCode;
 
 use tsqr_bench::figures::{
     all_figures, bench_records, compare_records, fault_bench_records, parse_records,
-    records_json,
+    records_json, tune_bench_records,
 };
 
 fn usage() -> ! {
@@ -74,6 +74,14 @@ fn main() -> ExitCode {
     }
     eprintln!("# measuring WAN-degradation scenarios (fault injector)...");
     for rec in fault_bench_records() {
+        eprintln!(
+            "#   {:<16} makespan {:>10.4} s  {:>7.1} Gflop/s  {:>6} WAN msgs  residual {:.2e}",
+            rec.id, rec.makespan_s, rec.gflops, rec.wan_msgs, rec.model_residual
+        );
+        measured.push(rec);
+    }
+    eprintln!("# measuring autotuned-tree points (model-driven search)...");
+    for rec in tune_bench_records() {
         eprintln!(
             "#   {:<16} makespan {:>10.4} s  {:>7.1} Gflop/s  {:>6} WAN msgs  residual {:.2e}",
             rec.id, rec.makespan_s, rec.gflops, rec.wan_msgs, rec.model_residual

@@ -53,7 +53,7 @@ fn main() {
             .iter()
             .map(|(regions, rt)| Series {
                 label: format!("{regions}region(s)"),
-                points: ms.iter().map(|&m| (m, gflops(rt, m, n, algo))).collect(),
+                points: ms.iter().map(|&m| (m, gflops(rt, m, n, algo.clone()))).collect(),
             })
             .collect();
         print_series_table(

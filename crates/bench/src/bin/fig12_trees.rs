@@ -106,7 +106,7 @@ fn main() {
     );
 
     // And an untuned binary tree over shuffled ranks for contrast.
-    let tree_oblivious = ReductionTree::build(TreeShape::Binary, 6, &[0; 6]);
+    let tree_oblivious = ReductionTree::build(&TreeShape::Binary, 6, &[0; 6]);
     let shuffled_clusters: Vec<usize> =
         (0..6).map(|r| rt_shuffled.topology().cluster_of(r)).collect();
     println!(

@@ -29,7 +29,7 @@ fn main() {
         };
         let tsqr_cfg = Algorithm::Tsqr { shape: TreeShape::Binary, domains_per_cluster: 64 };
 
-        let t_r = run_experiment(&rt, &mk(tsqr_cfg, false));
+        let t_r = run_experiment(&rt, &mk(tsqr_cfg.clone(), false));
         let t_qr = run_experiment(&rt, &mk(tsqr_cfg, true));
         let s_r = run_experiment(&rt, &mk(Algorithm::ScalapackQr2, false));
         let s_qr = run_experiment(&rt, &mk(Algorithm::ScalapackQr2, true));

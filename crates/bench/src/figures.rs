@@ -20,9 +20,11 @@
 
 use std::fmt::Write as _;
 
+use tsqr_core::domains::DomainLayout;
 use tsqr_core::experiment::{run_experiment, Algorithm, Experiment, Mode};
 use tsqr_core::modelfit;
 use tsqr_core::tree::TreeShape;
+use tsqr_core::tune;
 use tsqr_netsim::{FailureSchedule, VirtualTime};
 
 use crate::calib;
@@ -30,7 +32,7 @@ use crate::harness::grid_runtime;
 use crate::json::{escape, num, Json};
 
 /// One headline configuration of a figure binary.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FigurePoint {
     /// Which figure it belongs to (`"fig4"` … `"fig8"`).
     pub figure: &'static str,
@@ -140,7 +142,7 @@ pub struct BenchRecord {
 /// registry to 1e-9 — so every bench run doubles as an integration test
 /// of the diagnostics.
 pub fn measure_point(point: &FigurePoint) -> BenchRecord {
-    measure_on(&point.id(), point.sites, point.m, point.n, point.algorithm, None)
+    measure_on(&point.id(), point.sites, point.m, point.n, point.algorithm.clone(), None)
 }
 
 /// Shared measurement core of [`measure_point`] and
@@ -222,7 +224,7 @@ pub fn bench_records(figure: &str) -> Vec<BenchRecord> {
 /// byte / WAN counts of a scenario must equal its failure-free twin —
 /// `fault_degradation` asserts exactly that, and the perf gate pins the
 /// slowed makespans the same way it pins Figs. 4–8.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultPoint {
     /// Distinguishes scenarios (`"wan-10x"`); the record id is
     /// `faults/<label>`.
@@ -296,7 +298,7 @@ pub fn measure_fault_point(point: &FaultPoint) -> BenchRecord {
         point.sites,
         point.m,
         point.n,
-        point.algorithm,
+        point.algorithm.clone(),
         Some(point.schedule()),
     )
 }
@@ -312,7 +314,7 @@ pub fn measure_fault_clean(point: &FaultPoint) -> BenchRecord {
         point.sites,
         point.m,
         point.n,
-        point.algorithm,
+        point.algorithm.clone(),
         None,
     )
 }
@@ -320,6 +322,80 @@ pub fn measure_fault_clean(point: &FaultPoint) -> BenchRecord {
 /// Measures every registered degradation scenario.
 pub fn fault_bench_records() -> Vec<BenchRecord> {
     fault_points().iter().map(measure_fault_point).collect()
+}
+
+/// One autotuner gate point: a Fig. 4–8 topology re-run under the
+/// reduction tree `tsqr_core::tune::autotune` picks for it. The record id
+/// is `tune/<figure>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TunePoint {
+    /// Which figure's topology/problem this tunes (`"fig4"` … `"fig8"`).
+    pub figure: &'static str,
+    /// Number of Grid'5000 sites.
+    pub sites: usize,
+    /// Rows.
+    pub m: u64,
+    /// Columns.
+    pub n: usize,
+    /// Single-process domains per cluster (= ranks per cluster).
+    pub domains_per_cluster: usize,
+}
+
+/// The autotuner gate points — every Fig. 4–8 topology at its headline
+/// problem size, always with single-process domains (64 per 64-proc
+/// site, the regime the analytic predictor models). Fig. 4's point runs
+/// TSQR on the ScaLAPACK figure's topology; Fig. 8's headline TSQR point
+/// groups two processes per domain, so its tune twin drops to
+/// one-process domains instead.
+pub fn tune_points() -> Vec<TunePoint> {
+    let p = |figure, sites, m, n| TunePoint { figure, sites, m, n, domains_per_cluster: 64 };
+    vec![
+        p("fig4", 4, 1_048_576, 64),
+        p("fig5", 4, 1_048_576, 64),
+        p("fig6", 4, 4_194_304, 64),
+        p("fig7", 1, 1_048_576, 64),
+        p("fig8", 4, 8_388_608, 512),
+    ]
+}
+
+/// Autotunes one point's reduction tree and measures the winner like a
+/// headline point. Before measuring, asserts the gate's headline claim:
+/// the autotuned tree's replayed makespan is never slower than any of the
+/// three fixed shapes on this topology (ties allowed — the search table
+/// lists fixed shapes first precisely so a tie resolves to one of them).
+pub fn measure_tune_point(point: &TunePoint) -> BenchRecord {
+    let rt = grid_runtime(point.sites);
+    let rate = Some(calib::kernel_rate_flops(point.n));
+    let combine = Some(calib::combine_rate_flops());
+    let outcome = tune::autotune(&rt, point.m, point.n, point.domains_per_cluster, rate, combine);
+    let layout = DomainLayout::build(rt.topology(), point.m, point.n, point.domains_per_cluster);
+    for shape in [TreeShape::Flat, TreeShape::Binary, TreeShape::GridHierarchical] {
+        let fixed = tune::replay_makespan(&rt, &layout, &shape, rate, combine);
+        assert!(
+            outcome.replayed.secs() <= fixed.secs() * (1.0 + 1e-12),
+            "tune/{}: autotuned {:?} ({} s) slower than fixed {shape:?} ({} s)",
+            point.figure,
+            outcome.best().shape,
+            outcome.replayed.secs(),
+            fixed.secs()
+        );
+    }
+    measure_on(
+        &format!("tune/{}", point.figure),
+        point.sites,
+        point.m,
+        point.n,
+        Algorithm::Tsqr {
+            shape: outcome.best().shape.clone(),
+            domains_per_cluster: point.domains_per_cluster,
+        },
+        None,
+    )
+}
+
+/// Measures every autotuner gate point.
+pub fn tune_bench_records() -> Vec<BenchRecord> {
+    tune_points().iter().map(measure_tune_point).collect()
 }
 
 /// Serializes records as the `BENCH_results.json` document (schema

@@ -189,7 +189,7 @@ pub fn run_figure(figure: &str) {
             } else {
                 path.with_extension(format!("json.{}.json", p.label))
             };
-            dump_traced_point(&target, p.sites, p.m, p.n, p.algorithm)
+            dump_traced_point(&target, p.sites, p.m, p.n, p.algorithm.clone())
                 .expect("write trace");
         }
     }

@@ -56,7 +56,7 @@ pub const PHASE_PANEL_TREE: &str = "panel-tree";
 pub const PHASE_GATHER: &str = "gather";
 
 /// Configuration of a distributed CAQR run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CaqrDistConfig {
     /// Tile size `b` (panel width = tile height).
     pub tile: usize,
@@ -199,7 +199,7 @@ pub fn caqr_dist_rank_program_with(
         if let (Some(pos), Some(mut r_acc)) = (my_pos, r1) {
             p.phase_begin(PHASE_PANEL_TREE);
             let tree = ReductionTree::build(
-                cfg.shape,
+                &cfg.shape,
                 participants.len(),
                 &participants.iter().map(|&r| cluster_of_rank[r]).collect::<Vec<_>>(),
             );
@@ -325,7 +325,7 @@ pub fn caqr_dist_rank_program_symbolic(
             }
             p.phase_begin(PHASE_PANEL_TREE);
             let tree = ReductionTree::build(
-                cfg.shape,
+                &cfg.shape,
                 participants.len(),
                 &participants.iter().map(|&r| cluster_of_rank[r]).collect::<Vec<_>>(),
             );

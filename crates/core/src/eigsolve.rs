@@ -49,7 +49,7 @@ impl RowBlockOperator for DenseOperator {
 }
 
 /// Configuration of a distributed subspace iteration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct EigsolveConfig {
     /// Block width (number of eigenpairs sought).
     pub k: usize,
@@ -106,7 +106,7 @@ pub fn eigsolve_rank_program(
     assert_eq!(layout.n, cfg.k, "layout width must equal the block width");
     assert_eq!(layout.m, op.dim(), "layout height must equal the operator dimension");
     let tsqr_cfg = TsqrConfig {
-        shape: cfg.shape,
+        shape: cfg.shape.clone(),
         domains_per_cluster: cfg.domains_per_cluster,
         compute_q: true,
         ..Default::default()
@@ -200,7 +200,7 @@ mod tests {
         let procs = rt.topology().num_procs() / rt.topology().num_clusters();
         let layout = DomainLayout::build(rt.topology(), m, k, procs);
         let tree = ReductionTree::build(
-            TreeShape::GridHierarchical,
+            &TreeShape::GridHierarchical,
             layout.num_domains(),
             &layout.clusters(),
         );

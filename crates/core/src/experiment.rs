@@ -21,7 +21,7 @@ use crate::tsqr::{tsqr_rank_program, tsqr_rank_program_symbolic, TsqrConfig};
 use crate::workload;
 
 /// Which algorithm to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Algorithm {
     /// QCG-TSQR with the given reduction-tree shape and domain count.
     Tsqr {
@@ -55,7 +55,7 @@ pub enum Mode {
 }
 
 /// A fully-specified experiment point.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Experiment {
     /// Global row count M.
     pub m: u64,
@@ -125,10 +125,11 @@ impl ExperimentResult {
 
 /// Runs one experiment point on the given runtime.
 pub fn run_experiment(rt: &Runtime, exp: &Experiment) -> ExperimentResult {
-    let report: RunReport<Option<Matrix>> = match exp.algorithm {
+    let report: RunReport<Option<Matrix>> = match &exp.algorithm {
         Algorithm::Tsqr { shape, domains_per_cluster } => {
+            let domains_per_cluster = *domains_per_cluster;
             let cfg = TsqrConfig {
-                shape,
+                shape: shape.clone(),
                 domains_per_cluster,
                 compute_q: exp.compute_q,
                 combine_rate_flops: exp.combine_rate_flops,
@@ -148,6 +149,7 @@ pub fn run_experiment(rt: &Runtime, exp: &Experiment) -> ExperimentResult {
             }
         }
         Algorithm::ScalapackQrf { nb, nx } => {
+            let (nb, nx) = (*nb, *nx);
             let procs = rt.topology().num_procs();
             let chunks = even_chunks(exp.m, procs);
             assert!(!exp.compute_q, "the blocked baseline computes R only");

@@ -270,6 +270,15 @@ pub fn ft_tsqr_rank_program(
         "self-healing TSQR needs single-process domains (domains_per_cluster = procs per cluster)"
     );
     assert!(!cfg.compute_q, "self-healing TSQR does not reconstruct the explicit Q");
+    // The agent-election walk (find_agent) assumes every parent has a
+    // lower index than its children, so the lowest-indexed live
+    // participant is always an ancestor-or-self of the crash site. All
+    // built-in and generated shapes satisfy this; a hand-written
+    // Custom tree might not.
+    assert!(
+        tree.is_heap_ordered(),
+        "self-healing TSQR requires a heap-ordered tree (every parent index < child index)"
+    );
     let (row0, rows) = (dom.row0, dom.rows);
     let ctx = Ctx { layout, tree, cfg, seed, rate_flops, roots: layout.roots() };
     // Empty schedule ⇒ nothing can fail ⇒ skip the completion protocol
@@ -518,7 +527,7 @@ mod tests {
         let mut rt = grid4();
         rt.set_failure_schedule(schedule);
         let layout = DomainLayout::build(rt.topology(), M, N, 4);
-        let tree = ReductionTree::build(TreeShape::GridHierarchical, 16, &layout.clusters());
+        let tree = ReductionTree::build(&TreeShape::GridHierarchical, 16, &layout.clusters());
         let c = cfg();
         let report = rt.run(|p, _| ft_tsqr_rank_program(p, &layout, &tree, &c, SEED, None));
         let outcome = report.outcome();
@@ -538,7 +547,7 @@ mod tests {
     fn failure_free_r() -> Matrix {
         let rt = grid4();
         let layout = DomainLayout::build(rt.topology(), M, N, 4);
-        let tree = ReductionTree::build(TreeShape::GridHierarchical, 16, &layout.clusters());
+        let tree = ReductionTree::build(&TreeShape::GridHierarchical, 16, &layout.clusters());
         let c = cfg();
         let report = rt.run(|p, _| tsqr_rank_program(p, &layout, &tree, &c, SEED, None));
         report.ranks[0].result.clone().unwrap().r.unwrap()
@@ -652,7 +661,7 @@ mod tests {
         // recovered R *is* the failure-free R.
         let rt = grid4();
         let layout = DomainLayout::build(rt.topology(), M, N, 4);
-        let tree = ReductionTree::build(TreeShape::GridHierarchical, 16, &layout.clusters());
+        let tree = ReductionTree::build(&TreeShape::GridHierarchical, 16, &layout.clusters());
         let qcfg = TsqrConfig { compute_q: true, ..cfg() };
         let report = rt.run(|p, _| tsqr_rank_program(p, &layout, &tree, &qcfg, SEED, None));
         let mut blocks: Vec<(u64, Matrix)> = report
@@ -681,7 +690,7 @@ mod tests {
         let mut rt = grid4();
         rt.set_failure_schedule(FailureSchedule::new(1).crash_rank(8, vt(2e-3)));
         let layout = DomainLayout::build(rt.topology(), M, N, 4);
-        let tree = ReductionTree::build(TreeShape::GridHierarchical, 16, &layout.clusters());
+        let tree = ReductionTree::build(&TreeShape::GridHierarchical, 16, &layout.clusters());
         let c = cfg();
         let report = rt.run(|p, _| tsqr_rank_program(p, &layout, &tree, &c, SEED, None));
         let outcome = report.outcome();
@@ -716,7 +725,7 @@ mod tests {
             rt.set_failure_schedule(schedule);
             let layout = DomainLayout::build(rt.topology(), M, N, 4);
             let tree =
-                ReductionTree::build(TreeShape::GridHierarchical, 16, &layout.clusters());
+                ReductionTree::build(&TreeShape::GridHierarchical, 16, &layout.clusters());
             let c = cfg();
             let report =
                 rt.run(|p, _| tsqr_rank_program(p, &layout, &tree, &c, SEED, None));

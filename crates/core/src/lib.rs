@@ -10,10 +10,15 @@
 //!
 //! # Map of the crate
 //!
-//! * [`tree`] — reduction-tree schedules: flat, binary, and the paper's
-//!   grid-hierarchical shape (binary inside each cluster, binary across
-//!   cluster roots — Fig. 2), with the `#clusters − 1` inter-cluster
-//!   message guarantee.
+//! * [`tree`] — generalized reduction-tree schedules: flat, binary, the
+//!   paper's grid-hierarchical shape (binary inside each cluster, binary
+//!   across cluster roots — Fig. 2, with the `#clusters − 1`
+//!   inter-cluster message guarantee), plus k-ary, binomial, greedy
+//!   latency-aware, and arbitrary `Custom` parent vectors.
+//! * [`tune`] — the model-driven autotuner: predicts every candidate
+//!   tree's makespan analytically from the calibrated cost model,
+//!   cross-checks against a `netsim` replay to 1e-9, and returns the
+//!   argmin tree for a topology (`grid-tsqr tune`, `docs/tuning.md`).
 //! * [`domains`] — the domain decomposition knob (§III): one domain per
 //!   process (classic TSQR), per node, or per cluster (per-site
 //!   ScaLAPACK), and the load-balanced row attribution extension.
@@ -76,6 +81,7 @@
 // triangular/banded access patterns (row `j`, columns `j+1..`) read more
 // clearly as index arithmetic than as iterator chains.
 #![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
 
 pub mod calu;
 pub mod caqr;
@@ -93,6 +99,7 @@ pub mod scalapack;
 pub mod tree;
 pub mod tslu;
 pub mod tsqr;
+pub mod tune;
 pub mod workload;
 
 pub use domains::DomainLayout;
@@ -101,3 +108,4 @@ pub use modelfit::{fit as fit_model, samples_from_metrics, ModelFit, Sample};
 pub use experiment::{run_experiment, Algorithm, Experiment, ExperimentResult, Mode};
 pub use tree::{ReductionTree, TreeShape};
 pub use tsqr::{TsqrConfig, TsqrRankOutput};
+pub use tune::{autotune, TuneCandidate, TuneOutcome};

@@ -106,7 +106,7 @@ pub fn lstsq_distributed(
     let (m, n) = a.shape();
     assert_eq!(b.len(), m, "rhs length mismatch");
     let layout = DomainLayout::build(rt.topology(), m as u64, n, domains_per_cluster);
-    let tree = ReductionTree::build(shape, layout.num_domains(), &layout.clusters());
+    let tree = ReductionTree::build(&shape, layout.num_domains(), &layout.clusters());
     let report = rt.run(|p, world| {
         lstsq_rank_program_with(
             p,
@@ -224,7 +224,7 @@ mod tests {
         let results: Vec<Vec<f64>> =
             [TreeShape::Flat, TreeShape::Binary, TreeShape::GridHierarchical]
                 .iter()
-                .map(|&s| lstsq_distributed(&rt, &a, &b, 4, s).x)
+                .map(|s| lstsq_distributed(&rt, &a, &b, 4, s.clone()).x)
                 .collect();
         for r in &results[1..] {
             for (x, y) in r.iter().zip(&results[0]) {
@@ -246,7 +246,7 @@ mod tests {
         let (layout, tree) = {
             let layout = DomainLayout::build(rt.topology(), m as u64, n, 2);
             let tree =
-                ReductionTree::build(TreeShape::Binary, layout.num_domains(), &layout.clusters());
+                ReductionTree::build(&TreeShape::Binary, layout.num_domains(), &layout.clusters());
             (layout, tree)
         };
         let report = rt.run(|p, world| {

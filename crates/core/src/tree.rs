@@ -3,10 +3,19 @@
 //! TSQR is "a single complex reduce operation" (§II-C); the *shape* of the
 //! reduction tree is the paper's key tuning knob. Previous work used flat
 //! trees (out-of-core, multicore) or binary trees (parallel distributed);
-//! the contribution here is the **grid-hierarchical** tree of Fig. 2: a
+//! the paper's contribution is the **grid-hierarchical** tree of Fig. 2: a
 //! binary tree inside each cluster, then a binary tree across the cluster
 //! roots, which pushes the inter-cluster message count down to
 //! `#clusters − 1` regardless of the matrix width.
+//!
+//! This module generalizes that knob the way Demmel et al. prove is safe
+//! (TSQR is correct over *any* reduction tree): a [`TreeShape`] is either
+//! one of the classic fixed shapes, a **generated family**
+//! ([`TreeShape::Kary`], [`TreeShape::Binomial`], [`TreeShape::Greedy`]),
+//! or a fully **arbitrary tree** given as a parent vector
+//! ([`TreeShape::Custom`]). The model-driven autotuner in [`crate::tune`]
+//! searches this space with the calibrated α/β/γ cost model and returns
+//! the argmin shape for a topology (see `docs/tuning.md`).
 //!
 //! A schedule assigns every participant an ordered list of [`Step`]s; a
 //! participant that reaches a `Send` forwards its accumulated R factor and
@@ -28,7 +37,11 @@ pub enum Step {
 }
 
 /// The shape of the reduction tree.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The first three are the paper's fixed shapes; the rest open the full
+/// tree space for the autotuner ([`crate::tune`], `docs/tuning.md`).
+/// Shapes carrying data (`Custom`) make this type `Clone` but not `Copy`.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TreeShape {
     /// Everyone sends to participant 0, which combines sequentially —
     /// the out-of-core / multicore shape.
@@ -39,7 +52,62 @@ pub enum TreeShape {
     /// Binary tree within each cluster, then binary tree over the cluster
     /// roots — the paper's tuned tree (Fig. 2).
     GridHierarchical,
+    /// k-ary tree over participant indices: participant `i`'s parent is
+    /// `(i − 1) / k`. `Kary(1)` is a chain (depth `P − 1`, pipelined);
+    /// `Kary(P − 1)` degenerates to [`TreeShape::Flat`].
+    Kary(usize),
+    /// Binomial tree: participant `i`'s parent clears `i`'s lowest set
+    /// bit — the shape of a classic MPI `Reduce`. Same `log₂ P` depth as
+    /// [`TreeShape::Binary`] but children arrive in subtree-size order,
+    /// which pipelines better under nonzero latency.
+    Binomial,
+    /// Greedy latency-aware construction: repeatedly merge the two
+    /// subtrees whose merge completes cheapest under link-class costs
+    /// (intra-cluster cheap, inter-cluster expensive), a Huffman-style
+    /// bottom-up agglomeration. [`ReductionTree::build`] prices links at
+    /// the class granularity from `cluster_of` alone; the autotuner
+    /// re-runs the same construction under the *measured* per-site-pair
+    /// α/β costs ([`ReductionTree::greedy_parents`]) where it can exploit
+    /// WAN asymmetry (see `docs/tuning.md`).
+    Greedy,
+    /// An arbitrary tree as a parent vector: `parents[i]` is participant
+    /// `i`'s parent, `None` exactly at the root, which must be
+    /// participant 0. Children are received in ascending index order
+    /// (matching what [`ReductionTree::parents`] round-trips).
+    Custom(Vec<Option<usize>>),
 }
+
+impl TreeShape {
+    /// Short stable label for traces, tables and CLI output
+    /// (`"grid"`, `"kary4"`, …). `&'static` so it can annotate
+    /// [`tsqr_gridmpi::trace::Event`] phase spans.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TreeShape::Flat => "flat",
+            TreeShape::Binary => "binary",
+            TreeShape::GridHierarchical => "grid",
+            TreeShape::Kary(1) => "chain",
+            TreeShape::Kary(2) => "kary2",
+            TreeShape::Kary(3) => "kary3",
+            TreeShape::Kary(4) => "kary4",
+            TreeShape::Kary(8) => "kary8",
+            TreeShape::Kary(16) => "kary16",
+            TreeShape::Kary(_) => "kary",
+            TreeShape::Binomial => "binomial",
+            TreeShape::Greedy => "greedy",
+            TreeShape::Custom(_) => "custom",
+        }
+    }
+}
+
+/// Abstract link-class costs used by [`TreeShape::Greedy`] when only the
+/// participant→cluster map is known: one unit per intra-cluster hop, and
+/// the measured Grid'5000 latency ratio (~8 ms WAN vs ~0.07 ms LAN,
+/// Fig. 3(a)) per inter-cluster hop. The autotuner replaces these with
+/// the real α/β prices.
+const GREEDY_INTRA_COST: f64 = 1.0;
+/// See [`GREEDY_INTRA_COST`].
+const GREEDY_INTER_COST: f64 = 100.0;
 
 /// A complete reduction schedule: `steps[i]` is participant `i`'s program.
 /// Participant 0 is always the root (it holds the final R).
@@ -53,10 +121,18 @@ impl ReductionTree {
     /// Builds the schedule for `n` participants.
     ///
     /// `cluster_of[i]` gives participant `i`'s cluster and is only
-    /// consulted by [`TreeShape::GridHierarchical`]; participants of a
-    /// cluster must form a contiguous index range for the hierarchical
-    /// shape (which the QCG allocation guarantees).
-    pub fn build(shape: TreeShape, n: usize, cluster_of: &[usize]) -> Self {
+    /// consulted by [`TreeShape::GridHierarchical`] and
+    /// [`TreeShape::Greedy`]; participants of a cluster must form a
+    /// contiguous index range for the hierarchical shape (which the QCG
+    /// allocation guarantees).
+    ///
+    /// # Panics
+    /// Panics on `n = 0`, on a `cluster_of` length mismatch for the
+    /// topology-aware shapes, on `Kary(0)`, and on a
+    /// [`TreeShape::Custom`] parent vector that is not a valid tree of
+    /// exactly `n` participants rooted at 0 (see
+    /// [`ReductionTree::from_parents`]).
+    pub fn build(shape: &TreeShape, n: usize, cluster_of: &[usize]) -> Self {
         assert!(n > 0, "reduction over zero participants");
         match shape {
             TreeShape::Flat => Self::flat(&(0..n).collect::<Vec<_>>()),
@@ -64,6 +140,35 @@ impl ReductionTree {
             TreeShape::GridHierarchical => {
                 assert_eq!(cluster_of.len(), n, "cluster_of length mismatch");
                 Self::hierarchical(n, cluster_of)
+            }
+            TreeShape::Kary(k) => {
+                assert!(*k >= 1, "k-ary tree needs k >= 1");
+                Self::from_parents(&Self::kary_parents(n, *k))
+            }
+            TreeShape::Binomial => Self::from_parents(&Self::binomial_parents(n)),
+            TreeShape::Greedy => {
+                assert_eq!(cluster_of.len(), n, "cluster_of length mismatch");
+                let parents = Self::greedy_parents(
+                    n,
+                    |child, parent| {
+                        if cluster_of[child] == cluster_of[parent] {
+                            GREEDY_INTRA_COST
+                        } else {
+                            GREEDY_INTER_COST
+                        }
+                    },
+                    GREEDY_INTRA_COST,
+                );
+                Self::from_parents(&parents)
+            }
+            TreeShape::Custom(parents) => {
+                assert_eq!(
+                    parents.len(),
+                    n,
+                    "custom tree has {} participants, reduction needs {n}",
+                    parents.len()
+                );
+                Self::from_parents(parents)
             }
         }
     }
@@ -128,6 +233,130 @@ impl ReductionTree {
         ReductionTree { steps }
     }
 
+    /// Builds a schedule from a parent vector: `parents[i]` is
+    /// participant `i`'s parent, `None` exactly at the root (participant
+    /// 0). Every internal node receives its children in **ascending
+    /// index order**, then sends to its parent — the order the built-in
+    /// shapes also use, so round-tripping a fixed shape through
+    /// [`ReductionTree::parents`] reproduces its schedule (and hence its
+    /// floating-point combine order) exactly.
+    ///
+    /// # Panics
+    /// Panics when the vector is empty, when the root is not participant
+    /// 0 (or is not unique), on an out-of-range or self-referential
+    /// parent, or on a cycle.
+    pub fn from_parents(parents: &[Option<usize>]) -> Self {
+        let n = parents.len();
+        assert!(n > 0, "reduction over zero participants");
+        assert_eq!(parents[0], None, "participant 0 must be the root");
+        for (i, p) in parents.iter().enumerate().skip(1) {
+            let p = p.unwrap_or_else(|| panic!("participant {i}: only the root lacks a parent"));
+            assert!(p < n, "participant {i}: parent {p} out of range");
+            assert_ne!(p, i, "participant {i} cannot be its own parent");
+        }
+        // Cycle check: walk each node to the root; more than n hops means
+        // a cycle (root-reachability also falls out of this walk).
+        for start in 1..n {
+            let (mut cur, mut hops) = (start, 0usize);
+            while let Some(p) = parents[cur] {
+                cur = p;
+                hops += 1;
+                assert!(hops <= n, "cycle through participant {start}");
+            }
+        }
+        let mut steps = vec![Vec::new(); n];
+        for i in 0..n {
+            // Recvs from children, ascending.
+            for (c, p) in parents.iter().enumerate() {
+                if *p == Some(i) {
+                    steps[i].push(Step::Recv(c));
+                }
+            }
+            if let Some(p) = parents[i] {
+                steps[i].push(Step::Send(p));
+            }
+        }
+        ReductionTree { steps }
+    }
+
+    /// The parent vector of this tree (inverse of
+    /// [`ReductionTree::from_parents`] up to `Recv` ordering): `None` at
+    /// the root, `Some(parent)` elsewhere.
+    pub fn parents(&self) -> Vec<Option<usize>> {
+        let mut parents = vec![None; self.steps.len()];
+        for (i, steps) in self.steps.iter().enumerate() {
+            for s in steps {
+                if let Step::Send(to) = s {
+                    parents[i] = Some(*to);
+                }
+            }
+        }
+        parents
+    }
+
+    /// Parent vector of the k-ary tree: `i`'s parent is `(i − 1) / k`.
+    /// Parents always have lower indices than their children.
+    pub fn kary_parents(n: usize, k: usize) -> Vec<Option<usize>> {
+        assert!(k >= 1, "k-ary tree needs k >= 1");
+        (0..n).map(|i| if i == 0 { None } else { Some((i - 1) / k) }).collect()
+    }
+
+    /// Parent vector of the binomial tree: `i`'s parent clears `i`'s
+    /// lowest set bit. Parents always have lower indices than their
+    /// children.
+    pub fn binomial_parents(n: usize) -> Vec<Option<usize>> {
+        (0..n).map(|i| if i == 0 { None } else { Some(i & (i - 1)) }).collect()
+    }
+
+    /// Parent vector of the greedy latency-aware construction: start with
+    /// `n` singleton subtrees of cost 0, then repeatedly merge the pair
+    /// whose merged subtree *completes earliest* — the lower-indexed root
+    /// absorbs the higher-indexed one at
+    /// `max(cost_lo, cost_hi + edge_cost(hi, lo)) + combine_cost` — until
+    /// one tree remains. A Huffman-style agglomeration under the α/β link
+    /// prices: expensive (WAN) edges are deferred and therefore rare,
+    /// cheap (LAN) subtrees are ground down first.
+    ///
+    /// `edge_cost(child_root, parent_root)` prices the hand-off message;
+    /// `combine_cost` prices one `tpqrt` combine. Deterministic: ties
+    /// break toward the lowest root pair. The lower-index root always
+    /// absorbs the higher one, so parents have lower indices than their
+    /// children (the heap order [`crate::ft_tsqr`] relies on).
+    pub fn greedy_parents(
+        n: usize,
+        edge_cost: impl Fn(usize, usize) -> f64,
+        combine_cost: f64,
+    ) -> Vec<Option<usize>> {
+        assert!(n > 0, "reduction over zero participants");
+        let mut parents: Vec<Option<usize>> = vec![None; n];
+        // Active subtrees as (root, completion cost), kept sorted by root.
+        let mut active: Vec<(usize, f64)> = (0..n).map(|i| (i, 0.0)).collect();
+        while active.len() > 1 {
+            let mut best: Option<(f64, usize, usize)> = None; // (cost, lo_slot, hi_slot)
+            for a in 0..active.len() {
+                for b in (a + 1)..active.len() {
+                    let (lo, lo_cost) = active[a];
+                    let (hi, hi_cost) = active[b];
+                    let merged = (lo_cost).max(hi_cost + edge_cost(hi, lo)) + combine_cost;
+                    let better = match best {
+                        None => true,
+                        Some((c, _, _)) => merged.total_cmp(&c).is_lt(),
+                    };
+                    if better {
+                        best = Some((merged, a, b));
+                    }
+                }
+            }
+            let (cost, a, b) = best.expect("at least one pair while len > 1");
+            let (lo, _) = active[a];
+            let (hi, _) = active[b];
+            parents[hi] = Some(lo);
+            active[a] = (lo, cost);
+            active.remove(b);
+        }
+        parents
+    }
+
     /// Number of participants.
     pub fn len(&self) -> usize {
         self.steps.len()
@@ -168,6 +397,20 @@ impl ReductionTree {
     /// shape.
     pub fn depth(&self) -> usize {
         self.steps.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// True when every parent has a lower participant index than each of
+    /// its children (all built-in and generated shapes satisfy this).
+    /// The self-healing protocol of [`crate::ft_tsqr`] requires it: its
+    /// agent election walks candidates upward from 0 and only terminates
+    /// because parents always sit below their children.
+    pub fn is_heap_ordered(&self) -> bool {
+        self.steps.iter().enumerate().all(|(i, steps)| {
+            steps.iter().all(|s| match s {
+                Step::Recv(c) => *c > i,
+                Step::Send(p) => *p < i,
+            })
+        })
     }
 }
 
@@ -218,15 +461,31 @@ mod tests {
         got
     }
 
+    /// Every shape the autotuner enumerates, for loop-over-all tests.
+    fn all_shapes() -> Vec<TreeShape> {
+        vec![
+            TreeShape::Flat,
+            TreeShape::Binary,
+            TreeShape::GridHierarchical,
+            TreeShape::Kary(1),
+            TreeShape::Kary(2),
+            TreeShape::Kary(3),
+            TreeShape::Kary(4),
+            TreeShape::Binomial,
+            TreeShape::Greedy,
+        ]
+    }
+
     #[test]
     fn all_shapes_reduce_everything_to_root() {
         for n in [1, 2, 3, 4, 5, 7, 8, 16, 33] {
             let clusters: Vec<usize> = (0..n).map(|i| i * 4 / n).collect();
-            for shape in [TreeShape::Flat, TreeShape::Binary, TreeShape::GridHierarchical] {
-                let tree = ReductionTree::build(shape, n, &clusters);
+            for shape in all_shapes() {
+                let tree = ReductionTree::build(&shape, n, &clusters);
                 let got = simulate(&tree);
                 assert_eq!(got, (0..n).collect::<Vec<_>>(), "{shape:?} with n={n}");
                 assert_eq!(tree.total_messages(), n - 1);
+                assert!(tree.is_heap_ordered(), "{shape:?} with n={n}");
             }
         }
     }
@@ -234,15 +493,51 @@ mod tests {
     #[test]
     fn binary_depth_is_log2() {
         for (n, d) in [(2, 1), (4, 2), (8, 3), (16, 4), (9, 4)] {
-            let tree = ReductionTree::build(TreeShape::Binary, n, &vec![0usize; n]);
+            let tree = ReductionTree::build(&TreeShape::Binary, n, &vec![0usize; n]);
             assert_eq!(tree.depth(), d, "n={n}");
         }
     }
 
     #[test]
     fn flat_depth_is_linear() {
-        let tree = ReductionTree::build(TreeShape::Flat, 8, &[0; 8]);
+        let tree = ReductionTree::build(&TreeShape::Flat, 8, &[0; 8]);
         assert_eq!(tree.depth(), 7);
+    }
+
+    #[test]
+    fn kary_and_chain_depths() {
+        // Kary(1) is a chain: every participant has one step except the
+        // ends. Kary(n − 1) receives everyone directly at the root.
+        let chain = ReductionTree::build(&TreeShape::Kary(1), 6, &[0; 6]);
+        assert_eq!(chain.depth(), 2, "chain nodes do recv+send");
+        assert_eq!(chain.total_messages(), 5);
+        let star = ReductionTree::build(&TreeShape::Kary(7), 8, &[0; 8]);
+        assert_eq!(star.depth(), 7, "k >= n-1 degenerates to flat");
+        // 4-ary over 21 participants: root has 4 children, two levels.
+        let kary = ReductionTree::build(&TreeShape::Kary(4), 21, &[0; 21]);
+        assert_eq!(kary.steps[0].iter().filter(|s| matches!(s, Step::Recv(_))).count(), 4);
+    }
+
+    #[test]
+    fn binomial_matches_mpi_reduce_structure() {
+        // 8 participants: root 0 has children 1, 2, 4; 2 has child 3;
+        // 4 has children 5, 6; 6 has child 7.
+        let parents = ReductionTree::binomial_parents(8);
+        assert_eq!(
+            parents,
+            vec![
+                None,
+                Some(0),
+                Some(0),
+                Some(2),
+                Some(0),
+                Some(4),
+                Some(4),
+                Some(6)
+            ]
+        );
+        let tree = ReductionTree::from_parents(&parents);
+        assert_eq!(tree.depth(), 3, "the root's three recvs are the longest step list");
     }
 
     #[test]
@@ -253,27 +548,40 @@ mod tests {
         for (n, n_clusters) in [(12, 3), (16, 4), (64, 4), (256, 4)] {
             let per = n / n_clusters;
             let cluster_of: Vec<usize> = (0..n).map(|i| i / per).collect();
-            let tuned = ReductionTree::build(TreeShape::GridHierarchical, n, &cluster_of);
+            let tuned =
+                ReductionTree::build(&TreeShape::GridHierarchical, n, &cluster_of);
             assert_eq!(
                 tuned.inter_cluster_messages(&cluster_of),
                 n_clusters - 1,
                 "tuned tree, n={n}"
             );
-            let oblivious = ReductionTree::build(TreeShape::Binary, n, &cluster_of);
+            let oblivious = ReductionTree::build(&TreeShape::Binary, n, &cluster_of);
             assert!(
                 oblivious.inter_cluster_messages(&cluster_of) >= n_clusters - 1,
                 "binary tree can't beat the tuned tree"
+            );
+            // The greedy construction under class costs matches the
+            // hierarchical shape's headline guarantee.
+            let greedy = ReductionTree::build(&TreeShape::Greedy, n, &cluster_of);
+            assert_eq!(
+                greedy.inter_cluster_messages(&cluster_of),
+                n_clusters - 1,
+                "greedy tree, n={n}"
             );
         }
         // A shuffled placement makes the oblivious tree strictly worse.
         let n = 16;
         let shuffled: Vec<usize> = (0..n).map(|i| i % 4).collect(); // interleaved clusters
-        let oblivious = ReductionTree::build(TreeShape::Binary, n, &shuffled);
+        let oblivious = ReductionTree::build(&TreeShape::Binary, n, &shuffled);
         assert!(
             oblivious.inter_cluster_messages(&shuffled) > 3,
             "interleaved ranks force extra WAN messages, got {}",
             oblivious.inter_cluster_messages(&shuffled)
         );
+        // Greedy keys off the cluster map, not index contiguity, so it
+        // still crosses the WAN only C − 1 times on the shuffled layout.
+        let greedy = ReductionTree::build(&TreeShape::Greedy, n, &shuffled);
+        assert_eq!(greedy.inter_cluster_messages(&shuffled), 3);
     }
 
     #[test]
@@ -281,25 +589,27 @@ mod tests {
         // 4 clusters × 16 participants: 4 levels inside + 2 levels across.
         let n = 64;
         let cluster_of: Vec<usize> = (0..n).map(|i| i / 16).collect();
-        let tree = ReductionTree::build(TreeShape::GridHierarchical, n, &cluster_of);
+        let tree = ReductionTree::build(&TreeShape::GridHierarchical, n, &cluster_of);
         assert_eq!(tree.depth(), 4 + 2);
     }
 
     #[test]
     fn single_participant_has_empty_schedule() {
-        for shape in [TreeShape::Flat, TreeShape::Binary, TreeShape::GridHierarchical] {
-            let tree = ReductionTree::build(shape, 1, &[0]);
+        for shape in all_shapes() {
+            let tree = ReductionTree::build(&shape, 1, &[0]);
             assert!(tree.steps[0].is_empty());
             assert_eq!(tree.total_messages(), 0);
         }
+        let tree = ReductionTree::build(&TreeShape::Custom(vec![None]), 1, &[0]);
+        assert!(tree.steps[0].is_empty());
     }
 
     #[test]
     fn non_root_ends_with_send_root_never_sends() {
         for n in [2, 5, 8, 13] {
             let cluster_of: Vec<usize> = (0..n).map(|i| i / 3).collect();
-            for shape in [TreeShape::Flat, TreeShape::Binary, TreeShape::GridHierarchical] {
-                let tree = ReductionTree::build(shape, n, &cluster_of);
+            for shape in all_shapes() {
+                let tree = ReductionTree::build(&shape, n, &cluster_of);
                 for (i, steps) in tree.steps.iter().enumerate() {
                     if i == 0 {
                         assert!(
@@ -315,5 +625,83 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn parents_round_trip_reproduces_builtin_schedules() {
+        // Load-bearing for the autotuner: encoding any built-in shape as
+        // Custom(parents) reproduces the schedule *exactly* — same Recv
+        // order, hence the same floating-point combine order and a
+        // bitwise-identical R.
+        for n in [1, 2, 3, 5, 8, 16, 48, 64] {
+            let cluster_of: Vec<usize> = (0..n).map(|i| i * 4 / n).collect();
+            for shape in all_shapes() {
+                let tree = ReductionTree::build(&shape, n, &cluster_of);
+                let round =
+                    ReductionTree::build(&TreeShape::Custom(tree.parents()), n, &cluster_of);
+                assert_eq!(tree, round, "{shape:?} with n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn custom_tree_accepts_any_valid_parent_vector() {
+        // A deliberately lopsided tree: 0 ← 1 ← 3, 0 ← 2, 1 ← 4.
+        let parents = vec![None, Some(0), Some(0), Some(1), Some(1)];
+        let tree = ReductionTree::build(&TreeShape::Custom(parents), 5, &[0; 5]);
+        assert_eq!(simulate(&tree), vec![0, 1, 2, 3, 4]);
+        assert_eq!(tree.steps[1], vec![Step::Recv(3), Step::Recv(4), Step::Send(0)]);
+        // Parent above child is legal for the plain reduction (only
+        // ft_tsqr needs heap order).
+        let weird = ReductionTree::from_parents(&[None, Some(2), Some(0)]);
+        assert_eq!(simulate(&weird), vec![0, 1, 2]);
+        assert!(!weird.is_heap_ordered());
+    }
+
+    #[test]
+    #[should_panic(expected = "participant 0 must be the root")]
+    fn custom_tree_must_root_at_zero() {
+        let _ = ReductionTree::from_parents(&[Some(1), None]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn custom_tree_rejects_cycles() {
+        let _ = ReductionTree::from_parents(&[None, Some(2), Some(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn custom_tree_rejects_out_of_range_parent() {
+        let _ = ReductionTree::from_parents(&[None, Some(7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "custom tree has 2 participants")]
+    fn custom_tree_size_must_match() {
+        let _ = ReductionTree::build(&TreeShape::Custom(vec![None, Some(0)]), 3, &[0; 3]);
+    }
+
+    #[test]
+    fn greedy_defers_expensive_edges() {
+        // Two clusters of 4: greedy must finish both clusters before
+        // paying the WAN edge, like the hierarchical tree.
+        let cluster_of = [0, 0, 0, 0, 1, 1, 1, 1];
+        let tree = ReductionTree::build(&TreeShape::Greedy, 8, &cluster_of);
+        assert_eq!(tree.inter_cluster_messages(&cluster_of), 1);
+        // The one WAN edge connects the two cluster roots (0 and 4).
+        let parents = tree.parents();
+        assert_eq!(parents[4], Some(0));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(TreeShape::Flat.label(), "flat");
+        assert_eq!(TreeShape::GridHierarchical.label(), "grid");
+        assert_eq!(TreeShape::Kary(4).label(), "kary4");
+        assert_eq!(TreeShape::Kary(1).label(), "chain");
+        assert_eq!(TreeShape::Binomial.label(), "binomial");
+        assert_eq!(TreeShape::Greedy.label(), "greedy");
+        assert_eq!(TreeShape::Custom(vec![None]).label(), "custom");
     }
 }

@@ -189,7 +189,7 @@ mod tests {
     ) -> (Vec<TsluRankOutput>, u64) {
         let (m, n) = a.shape();
         let layout = DomainLayout::build(rt.topology(), m as u64, n, dpc);
-        let tree = ReductionTree::build(shape, layout.num_domains(), &layout.clusters());
+        let tree = ReductionTree::build(&shape, layout.num_domains(), &layout.clusters());
         let report = rt.run(|p, world| {
             tslu_rank_program_with(p, world, &layout, &tree, None, |row0, rows| {
                 a.sub_matrix(row0 as usize, 0, rows, n)

@@ -45,7 +45,7 @@ pub const PHASE_DOWNSWEEP: &str = "q-downsweep";
 pub const PHASE_ALLREDUCE: &str = "allreduce";
 
 /// Configuration of a QCG-TSQR run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TsqrConfig {
     /// Shape of the reduction tree over domains.
     pub shape: TreeShape,
@@ -184,6 +184,7 @@ pub fn tsqr_rank_program_with(
 
     // --- Reduction over domain roots. ---
     p.phase_begin(PHASE_REDUCE);
+    p.annotate(cfg.shape.label());
     let mut combine_stack: Vec<(StackedFactors, usize)> = Vec::new();
     let i_am_root = member == 0;
     let mut sent_to: Option<usize> = None;
@@ -275,6 +276,7 @@ pub fn tsqr_rank_program_symbolic(
     p.phase_end();
 
     p.phase_begin(PHASE_REDUCE);
+    p.annotate(cfg.shape.label());
     let mut n_combines = 0usize;
     let mut sent_to: Option<usize> = None;
     if member == 0 {
@@ -458,7 +460,7 @@ mod tests {
         seed: u64,
     ) -> (Matrix, Vec<TsqrRankOutput>, tsqr_gridmpi::RunReport<TsqrRankOutput>) {
         let layout = DomainLayout::build(rt.topology(), m, n, cfg.domains_per_cluster);
-        let tree = ReductionTree::build(cfg.shape, layout.num_domains(), &layout.clusters());
+        let tree = ReductionTree::build(&cfg.shape, layout.num_domains(), &layout.clusters());
         let report = rt.run(|p, _| tsqr_rank_program(p, &layout, &tree, &cfg, seed, None));
         let outs: Vec<TsqrRankOutput> =
             report.ranks.iter().map(|r| r.result.clone().unwrap()).collect();
@@ -479,7 +481,7 @@ mod tests {
         let (m, n) = (256u64, 8);
         for shape in [TreeShape::Flat, TreeShape::Binary, TreeShape::GridHierarchical] {
             let rt = mini_grid(2, 4);
-            let cfg = TsqrConfig { shape, domains_per_cluster: 4, ..Default::default() };
+            let cfg = TsqrConfig { shape: shape.clone(), domains_per_cluster: 4, ..Default::default() };
             let (r, _, _) = run_tsqr(&rt, m, n, cfg, 21);
             assert!(is_upper_triangular(&r));
             assert!(
@@ -515,7 +517,7 @@ mod tests {
         for shape in [TreeShape::Binary, TreeShape::GridHierarchical] {
             let rt = mini_grid(2, 4);
             let cfg = TsqrConfig {
-                shape,
+                shape: shape.clone(),
                 domains_per_cluster: 4,
                 compute_q: true,
                 ..Default::default()
@@ -566,7 +568,7 @@ mod tests {
             };
             let layout = DomainLayout::build(rt.topology(), m, n, dpc);
             let tree =
-                ReductionTree::build(cfg.shape, layout.num_domains(), &layout.clusters());
+                ReductionTree::build(&cfg.shape, layout.num_domains(), &layout.clusters());
             let real = rt.run(|p, _| {
                 tsqr_rank_program(p, &layout, &tree, &cfg, 37, None).map(|_| ())
             });
@@ -613,7 +615,7 @@ mod tests {
             domains_per_cluster: 4,
             ..Default::default()
         };
-        let (_, _, rep_r) = run_tsqr(&rt, m, n, base, 43);
+        let (_, _, rep_r) = run_tsqr(&rt, m, n, base.clone(), 43);
         let with_q = TsqrConfig { compute_q: true, ..base };
         let (_, _, rep_qr) = run_tsqr(&rt, m, n, with_q, 43);
         let ratio = rep_qr.makespan.secs() / rep_r.makespan.secs();
@@ -669,7 +671,7 @@ mod tests {
         let rt = mini_grid(2, 2);
         let cfg = TsqrConfig { domains_per_cluster: 2, ..Default::default() };
         let layout = DomainLayout::build(rt.topology(), 128, 4, 2);
-        let tree = ReductionTree::build(cfg.shape, layout.num_domains(), &layout.clusters());
+        let tree = ReductionTree::build(&cfg.shape, layout.num_domains(), &layout.clusters());
         let m1 = rt
             .run(|p, _| tsqr_rank_program(p, &layout, &tree, &cfg, 47, None).map(|_| ()))
             .makespan;

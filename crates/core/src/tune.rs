@@ -1,0 +1,448 @@
+//! Model-driven reduction-tree autotuner.
+//!
+//! The paper hand-picks the Fig. 2 tree (binary per cluster, binary over
+//! cluster roots). Demmel et al. prove TSQR is correct over *any*
+//! reduction tree, so the shape is a free tuning knob — and because the
+//! whole execution is priced by the calibrated (α, β, γ) cost model of
+//! Eq. (1), the makespan of a candidate tree can be *predicted
+//! analytically* without running the simulator: replay the
+//! [`crate::tree::Step`] schedule against the same per-link arithmetic
+//! the `gridmpi` runtime uses, including the receiver-side NIC
+//! serialization that makes flat trees congest.
+//!
+//! [`autotune`] enumerates a candidate portfolio (the three fixed shapes,
+//! k-ary and binomial families, and two greedy latency-aware
+//! constructions — one priced at link-class granularity, one at the real
+//! per-site-pair α/β costs), predicts each tree's makespan, picks the
+//! argmin, and cross-checks the prediction against an actual `netsim`
+//! replay to 1e-9 relative — the same closed-loop discipline as
+//! `modelfit`. See `docs/tuning.md` for the handbook and
+//! `grid-tsqr tune` for the CLI.
+//!
+//! The predictor requires single-process domains (one rank per domain):
+//! that is the regime of every Fig. 4–8 headline point, and it keeps the
+//! leaf cost a single closed-form `geqrf` term.
+
+use tsqr_gridmpi::Runtime;
+use tsqr_linalg::flops;
+use tsqr_netsim::{CostModel, GridTopology, VirtualTime};
+
+use crate::domains::DomainLayout;
+use crate::tree::{ReductionTree, Step, TreeShape};
+use crate::tsqr::{tsqr_rank_program_symbolic, TsqrConfig};
+
+/// One candidate in the search table.
+#[derive(Debug, Clone)]
+pub struct TuneCandidate {
+    /// Human-readable shape name (`"grid"`, `"kary4"`, `"greedy-cost"`, …).
+    pub name: String,
+    /// The shape itself (generated families are materialized as the
+    /// shape enum; the cost-priced greedy is a [`TreeShape::Custom`]).
+    pub shape: TreeShape,
+    /// Analytic makespan under the cost model.
+    pub predicted: VirtualTime,
+    /// Tree depth (longest per-participant step list).
+    pub depth: usize,
+    /// Messages crossing a wide-area link.
+    pub wan_msgs: usize,
+}
+
+/// The autotuner's verdict for one topology/M/N point.
+#[derive(Debug, Clone)]
+pub struct TuneOutcome {
+    /// Every candidate, in search order (fixed shapes first), with its
+    /// predicted makespan.
+    pub table: Vec<TuneCandidate>,
+    /// Index into `table` of the argmin candidate. Ties resolve to the
+    /// earliest entry, so a generated tree must be *strictly* better to
+    /// displace a fixed shape.
+    pub winner: usize,
+    /// The winner's makespan from an actual symbolic `netsim` replay.
+    pub replayed: VirtualTime,
+    /// Domains participating in the reduction.
+    pub domains: usize,
+}
+
+impl TuneOutcome {
+    /// The winning candidate.
+    pub fn best(&self) -> &TuneCandidate {
+        &self.table[self.winner]
+    }
+}
+
+/// Analytically predicts the TSQR makespan for one reduction tree,
+/// mirroring the `gridmpi` virtual-clock arithmetic term for term:
+///
+/// - leaf: `γ`-priced `geqrf` on the domain's rows;
+/// - `Send`: the sender's clock advances by `β + α·bytes` (plus the WAN
+///   surcharge inter-cluster), and the message *arrives* at the
+///   post-advance clock — the rendezvous convention under which Eq. (1)
+///   counts `β·#msg + α·vol`;
+/// - `Recv`: the payload clocks in after whatever the receiver's NIC
+///   was already receiving (`done = max(arrival, nic_free + wire)`), the
+///   serialization that congests flat trees at the root;
+/// - each received R costs one `tpqrt` combine at the combine rate.
+///
+/// Because the replay uses the same `f64` operations in the same order
+/// as the simulator, an idle network reproduces the simulated makespan
+/// bit-for-bit, not merely approximately ([`autotune`] still only
+/// *requires* 1e-9 relative agreement).
+///
+/// # Panics
+/// Panics when `layout` has multi-process domains (the leaf would be a
+/// distributed `pdgeqr2`, which this closed form does not model) or when
+/// `tree.len() != layout.num_domains()`.
+pub fn predict_makespan(
+    topo: &GridTopology,
+    model: &CostModel,
+    layout: &DomainLayout,
+    tree: &ReductionTree,
+    rate_flops: Option<f64>,
+    combine_rate_flops: Option<f64>,
+) -> VirtualTime {
+    let d_count = layout.num_domains();
+    assert_eq!(tree.len(), d_count, "tree size != domain count");
+    assert!(
+        layout.domains.iter().all(|d| d.ranks.len() == 1),
+        "the analytic predictor needs single-process domains"
+    );
+    let n = layout.n;
+    let r_bytes = 8 * (n * (n + 1) / 2) as u64;
+    let combine = combine_rate_flops.or(rate_flops);
+    let roots = layout.roots();
+    let loc = |d: usize| topo.location(roots[d]);
+
+    // Completion clock after each domain's full step list, and the
+    // arrival time of its (single) upward send. Computed demand-driven:
+    // a Recv pulls the sender's arrival, which recurses down its
+    // subtree. The schedule is acyclic (validated at build time), so an
+    // explicit worklist suffices and nothing overflows on deep chains.
+    let mut finished: Vec<Option<(VirtualTime, Option<VirtualTime>)>> = vec![None; d_count];
+    let mut stack: Vec<usize> = Vec::new();
+    for start in 0..d_count {
+        if finished[start].is_some() {
+            continue;
+        }
+        stack.push(start);
+        while let Some(&d) = stack.last() {
+            if finished[d].is_some() {
+                stack.pop();
+                continue;
+            }
+            // A node can complete once every child it receives from has.
+            let pending: Vec<usize> = tree.steps[d]
+                .iter()
+                .filter_map(|s| match s {
+                    Step::Recv(c) if finished[*c].is_none() => Some(*c),
+                    _ => None,
+                })
+                .collect();
+            if !pending.is_empty() {
+                stack.extend(pending);
+                continue;
+            }
+            stack.pop();
+            let (_row0, rows) = layout.member_rows(d, 0);
+            let mut clock = model.compute_time(flops::geqrf(rows, n as u64), rate_flops);
+            let mut nic_free = VirtualTime::ZERO;
+            let mut sent_arrival = None;
+            for step in &tree.steps[d] {
+                match *step {
+                    Step::Recv(from) => {
+                        let arrival = finished[from]
+                            .as_ref()
+                            .and_then(|(_, a)| *a)
+                            .expect("child completed with an upward send");
+                        let link = model.link(loc(from), loc(d));
+                        let wire =
+                            VirtualTime::from_secs(r_bytes as f64 * 8.0 / link.bandwidth_bps);
+                        let done = arrival.max(nic_free + wire);
+                        nic_free = done;
+                        clock = clock.max(done);
+                        clock += model.compute_time(flops::tpqrt(n as u64), combine);
+                    }
+                    Step::Send(to) => {
+                        clock += model.message_time(loc(d), loc(to), r_bytes);
+                        sent_arrival = Some(clock);
+                    }
+                }
+            }
+            finished[d] = Some((clock, sent_arrival));
+        }
+    }
+    finished
+        .into_iter()
+        .map(|f| f.expect("all domains completed").0)
+        .max()
+        .unwrap_or(VirtualTime::ZERO)
+}
+
+/// Runs the symbolic twin under the given shape and returns the
+/// simulated makespan — the ground truth [`autotune`] checks its
+/// predictions against (and what the bench gate pins).
+pub fn replay_makespan(
+    rt: &Runtime,
+    layout: &DomainLayout,
+    shape: &TreeShape,
+    rate_flops: Option<f64>,
+    combine_rate_flops: Option<f64>,
+) -> VirtualTime {
+    let tree = ReductionTree::build(shape, layout.num_domains(), &layout.clusters());
+    let cfg = TsqrConfig {
+        shape: shape.clone(),
+        domains_per_cluster: layout.domains.len() / rt.topology().num_clusters().max(1),
+        combine_rate_flops,
+        ..Default::default()
+    };
+    let report =
+        rt.run(|p, _| tsqr_rank_program_symbolic(p, layout, &tree, &cfg, rate_flops));
+    report.makespan
+}
+
+/// The candidate portfolio for a reduction over `cluster_of`-mapped
+/// domain roots. Fixed shapes come first (ties in [`autotune`] resolve
+/// toward them), then the generated families, then the two greedy
+/// constructions: `greedy` prices links at class granularity
+/// ([`TreeShape::Greedy`]), `greedy-cost` re-runs the same agglomeration
+/// under the *measured* per-site-pair message and combine times and is
+/// encoded as the [`TreeShape::Custom`] parent vector it produces.
+pub fn candidate_shapes(
+    topo: &GridTopology,
+    model: &CostModel,
+    layout: &DomainLayout,
+    rate_flops: Option<f64>,
+    combine_rate_flops: Option<f64>,
+) -> Vec<(String, TreeShape)> {
+    let d = layout.num_domains();
+    let n = layout.n;
+    let r_bytes = 8 * (n * (n + 1) / 2) as u64;
+    let roots = layout.roots();
+    let mut out: Vec<(String, TreeShape)> = vec![
+        ("flat".into(), TreeShape::Flat),
+        ("binary".into(), TreeShape::Binary),
+        ("grid".into(), TreeShape::GridHierarchical),
+    ];
+    for k in [2usize, 3, 4, 8, 16] {
+        if k + 1 < d {
+            out.push((format!("kary{k}"), TreeShape::Kary(k)));
+        }
+    }
+    if d > 2 {
+        out.push(("binomial".into(), TreeShape::Binomial));
+        out.push(("greedy".into(), TreeShape::Greedy));
+        // Greedy under the real α/β: price a child→parent hand-off at the
+        // model's actual message time between the two domain-root
+        // locations, and a combine at its tpqrt time. On asymmetric WAN
+        // meshes this sees what the class-level greedy cannot (see
+        // docs/tuning.md).
+        let combine = model
+            .compute_time(flops::tpqrt(n as u64), combine_rate_flops.or(rate_flops))
+            .secs();
+        let parents = ReductionTree::greedy_parents(
+            d,
+            |child, parent| {
+                model
+                    .message_time(topo.location(roots[child]), topo.location(roots[parent]), r_bytes)
+                    .secs()
+            },
+            combine,
+        );
+        out.push(("greedy-cost".into(), TreeShape::Custom(parents)));
+    }
+    out
+}
+
+/// Searches the candidate portfolio for the minimum-makespan reduction
+/// tree on `rt`'s topology, for an `m × n` factorization over
+/// single-process domains (`domains_per_cluster` = ranks per cluster).
+///
+/// Returns the full search table plus the winner, whose analytic
+/// prediction is cross-checked against a symbolic `netsim` replay;
+/// disagreement beyond 1e-9 relative is a bug in the predictor (or a
+/// drift in the simulator's pricing) and panics.
+pub fn autotune(
+    rt: &Runtime,
+    m: u64,
+    n: usize,
+    domains_per_cluster: usize,
+    rate_flops: Option<f64>,
+    combine_rate_flops: Option<f64>,
+) -> TuneOutcome {
+    let topo = rt.topology();
+    let model = rt.cost_model();
+    let layout = DomainLayout::build(topo, m, n, domains_per_cluster);
+    let cluster_of = layout.clusters();
+    let table: Vec<TuneCandidate> =
+        candidate_shapes(topo, model, &layout, rate_flops, combine_rate_flops)
+            .into_iter()
+            .map(|(name, shape)| {
+                let tree = ReductionTree::build(&shape, layout.num_domains(), &cluster_of);
+                let predicted = predict_makespan(
+                    topo,
+                    model,
+                    &layout,
+                    &tree,
+                    rate_flops,
+                    combine_rate_flops,
+                );
+                TuneCandidate {
+                    name,
+                    shape,
+                    predicted,
+                    depth: tree.depth(),
+                    wan_msgs: tree.inter_cluster_messages(&cluster_of),
+                }
+            })
+            .collect();
+    let winner = table
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| a.predicted.secs().total_cmp(&b.predicted.secs()))
+        .map(|(i, _)| i)
+        .expect("portfolio is never empty");
+    let replayed = replay_makespan(
+        rt,
+        &layout,
+        &table[winner].shape,
+        rate_flops,
+        combine_rate_flops,
+    );
+    let predicted = table[winner].predicted;
+    let rel = (predicted.secs() - replayed.secs()).abs() / replayed.secs().abs().max(1e-12);
+    assert!(
+        rel <= 1e-9,
+        "analytic prediction {} drifted from netsim replay {} (rel {rel:.3e})",
+        predicted.secs(),
+        replayed.secs()
+    );
+    TuneOutcome { table, winner, replayed, domains: layout.num_domains() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsqr_netsim::{ClusterSpec, LinkParams};
+
+    fn mini_grid(clusters: usize, procs: usize) -> Runtime {
+        let specs = (0..clusters)
+            .map(|i| ClusterSpec {
+                name: format!("c{i}"),
+                nodes: procs,
+                procs_per_node: 1,
+                peak_gflops_per_proc: 8.0,
+            })
+            .collect();
+        let topo = GridTopology::block_placement(specs, procs, 1);
+        let mut model =
+            CostModel::homogeneous(LinkParams::from_ms_mbps(0.07, 890.0), 1e9, clusters);
+        for a in 0..clusters {
+            for b in 0..clusters {
+                if a != b {
+                    model.inter_cluster[a][b] = LinkParams::from_ms_mbps(8.0, 80.0);
+                }
+            }
+        }
+        Runtime::new(topo, model)
+    }
+
+    #[test]
+    fn prediction_matches_replay_bitwise_for_fixed_shapes() {
+        let rt = mini_grid(4, 8);
+        let layout = DomainLayout::build(rt.topology(), 1 << 16, 16, 8);
+        for shape in [TreeShape::Flat, TreeShape::Binary, TreeShape::GridHierarchical] {
+            let tree = ReductionTree::build(&shape, layout.num_domains(), &layout.clusters());
+            let predicted = predict_makespan(
+                rt.topology(),
+                rt.cost_model(),
+                &layout,
+                &tree,
+                None,
+                None,
+            );
+            let replayed = replay_makespan(&rt, &layout, &shape, None, None);
+            assert_eq!(
+                predicted.secs().to_bits(),
+                replayed.secs().to_bits(),
+                "{shape:?}: {} vs {}",
+                predicted.secs(),
+                replayed.secs()
+            );
+        }
+    }
+
+    #[test]
+    fn prediction_matches_replay_for_generated_and_custom_trees() {
+        let rt = mini_grid(3, 4);
+        let layout = DomainLayout::build(rt.topology(), 1 << 14, 8, 4);
+        let d = layout.num_domains();
+        let lopsided: Vec<Option<usize>> =
+            (0..d).map(|i| if i == 0 { None } else { Some(i / 3) }).collect();
+        for shape in [
+            TreeShape::Kary(3),
+            TreeShape::Binomial,
+            TreeShape::Greedy,
+            TreeShape::Custom(lopsided),
+        ] {
+            let tree = ReductionTree::build(&shape, d, &layout.clusters());
+            let predicted = predict_makespan(
+                rt.topology(),
+                rt.cost_model(),
+                &layout,
+                &tree,
+                Some(2.5e9),
+                Some(1.5e9),
+            );
+            let replayed = replay_makespan(&rt, &layout, &shape, Some(2.5e9), Some(1.5e9));
+            let rel = (predicted.secs() - replayed.secs()).abs() / replayed.secs();
+            assert!(rel <= 1e-12, "{shape:?}: rel {rel:.3e}");
+        }
+    }
+
+    #[test]
+    fn autotuned_tree_never_loses_to_fixed_shapes() {
+        let rt = mini_grid(4, 8);
+        let outcome = autotune(&rt, 1 << 18, 32, 8, None, None);
+        let layout = DomainLayout::build(rt.topology(), 1 << 18, 32, 8);
+        for shape in [TreeShape::Flat, TreeShape::Binary, TreeShape::GridHierarchical] {
+            let fixed = replay_makespan(&rt, &layout, &shape, None, None);
+            assert!(
+                outcome.replayed.secs() <= fixed.secs() + 1e-15,
+                "tuned {} slower than {shape:?} {}",
+                outcome.replayed.secs(),
+                fixed.secs()
+            );
+        }
+        // The table lists fixed shapes first and the argmin favors them
+        // on ties.
+        assert_eq!(outcome.table[0].name, "flat");
+        assert_eq!(outcome.table[2].name, "grid");
+        assert_eq!(outcome.domains, 32);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_the_predictor() {
+        // Kary(1) over 256 domains is a 255-deep chain; the worklist
+        // traversal must handle it without recursion.
+        let rt = mini_grid(4, 64);
+        let layout = DomainLayout::build(rt.topology(), 1 << 20, 8, 64);
+        let tree = ReductionTree::build(&TreeShape::Kary(1), 256, &layout.clusters());
+        let predicted =
+            predict_makespan(rt.topology(), rt.cost_model(), &layout, &tree, None, None);
+        assert!(predicted.secs() > 0.0);
+    }
+
+    #[test]
+    fn greedy_cost_candidate_is_heap_ordered_and_complete() {
+        let rt = mini_grid(4, 8);
+        let layout = DomainLayout::build(rt.topology(), 1 << 16, 16, 8);
+        let shapes =
+            candidate_shapes(rt.topology(), rt.cost_model(), &layout, None, None);
+        let (_, custom) = shapes
+            .iter()
+            .find(|(name, _)| name == "greedy-cost")
+            .expect("portfolio includes the cost-priced greedy");
+        let tree = ReductionTree::build(custom, layout.num_domains(), &layout.clusters());
+        assert!(tree.is_heap_ordered());
+        assert_eq!(tree.total_messages(), layout.num_domains() - 1);
+    }
+}

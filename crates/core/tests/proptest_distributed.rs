@@ -69,8 +69,8 @@ proptest! {
         // Every group member (not just every domain) needs >= n rows.
         let m = (clusters * procs) as u64 * (n as u64) * m_mult;
         let layout = DomainLayout::build(rt.topology(), m, n, dpc);
-        let tree = ReductionTree::build(shape, layout.num_domains(), &layout.clusters());
-        let cfg = TsqrConfig { shape, domains_per_cluster: dpc, ..Default::default() };
+        let tree = ReductionTree::build(&shape, layout.num_domains(), &layout.clusters());
+        let cfg = TsqrConfig { shape: shape.clone(), domains_per_cluster: dpc, ..Default::default() };
         let report = rt.run(|p, _| tsqr_rank_program(p, &layout, &tree, &cfg, seed, None));
         let r = report.ranks[0].result.as_ref().unwrap().r.clone().unwrap();
         let want = reference_r(seed, m as usize, n);
@@ -97,9 +97,9 @@ proptest! {
         let rt = mini_grid(clusters, procs);
         let m = (clusters * procs) as u64 * n as u64 * 4;
         let layout = DomainLayout::build(rt.topology(), m, n, dpc);
-        let tree = ReductionTree::build(shape, layout.num_domains(), &layout.clusters());
+        let tree = ReductionTree::build(&shape, layout.num_domains(), &layout.clusters());
         let compute_q = dpc == procs && (seed % 2 == 0);
-        let cfg = TsqrConfig { shape, domains_per_cluster: dpc, compute_q, ..Default::default() };
+        let cfg = TsqrConfig { shape: shape.clone(), domains_per_cluster: dpc, compute_q, ..Default::default() };
         let real = rt.run(|p, _| tsqr_rank_program(p, &layout, &tree, &cfg, seed, None).map(|_| ()));
         let sym = rt.run(|p, _| tsqr_rank_program_symbolic(p, &layout, &tree, &cfg, None));
         for (rank, (a, b)) in real.ranks.iter().zip(&sym.ranks).enumerate() {
@@ -120,7 +120,7 @@ proptest! {
         let shape = shape_from(shape_ix);
         // Contiguous cluster assignment (what allocations produce).
         let cluster_of: Vec<usize> = (0..n).map(|i| i * clusters.min(n) / n).collect();
-        let tree = ReductionTree::build(shape, n, &cluster_of);
+        let tree = ReductionTree::build(&shape, n, &cluster_of);
         prop_assert_eq!(tree.total_messages(), n - 1);
         if shape == TreeShape::GridHierarchical {
             let distinct = {
@@ -154,7 +154,7 @@ proptest! {
         let rt = mini_grid(clusters, procs);
         let m = (clusters * procs) as u64 * n as u64 * 3;
         let layout = DomainLayout::build(rt.topology(), m, n, procs);
-        let tree = ReductionTree::build(TreeShape::Binary, layout.num_domains(), &layout.clusters());
+        let tree = ReductionTree::build(&TreeShape::Binary, layout.num_domains(), &layout.clusters());
         let cfg = TsqrConfig {
             shape: TreeShape::Binary,
             domains_per_cluster: procs,

@@ -96,7 +96,7 @@ fn run_ft(scenario: &Scenario) -> (Matrix, f64, Vec<usize>, String) {
     rt.set_failure_schedule(scenario.schedule());
     rt.enable_tracing();
     let layout = DomainLayout::build(rt.topology(), M, N, 4);
-    let tree = ReductionTree::build(TreeShape::GridHierarchical, RANKS, &layout.clusters());
+    let tree = ReductionTree::build(&TreeShape::GridHierarchical, RANKS, &layout.clusters());
     let c = cfg();
     let report = rt.run(|p, _| {
         ft_tsqr_rank_program(p, &layout, &tree, &c, scenario.workload_seed, None)
@@ -122,7 +122,7 @@ fn run_ft(scenario: &Scenario) -> (Matrix, f64, Vec<usize>, String) {
 fn reference_r(workload_seed: u64) -> Matrix {
     let rt = grid4();
     let layout = DomainLayout::build(rt.topology(), M, N, 4);
-    let tree = ReductionTree::build(TreeShape::GridHierarchical, RANKS, &layout.clusters());
+    let tree = ReductionTree::build(&TreeShape::GridHierarchical, RANKS, &layout.clusters());
     let c = cfg();
     let report = rt.run(|p, _| tsqr_rank_program(p, &layout, &tree, &c, workload_seed, None));
     report.ranks[0].result.clone().unwrap().r.unwrap()

@@ -286,6 +286,27 @@ impl Process {
         }
     }
 
+    /// Drops a zero-width annotation marker into the trace at the
+    /// current virtual time: an [`EventKind::Phase`] event with
+    /// `start == end`, stamped with the innermost open phase. Costs
+    /// nothing on the simulated clock and is skipped by the wait-state
+    /// and DAG analyses (which ignore phase events), so rank programs
+    /// can tag spans with configuration facts — e.g. the reduction-tree
+    /// shape chosen by the autotuner — without perturbing any analysis
+    /// or baseline *timing*. No-op unless tracing is enabled.
+    pub fn annotate(&mut self, name: &'static str) {
+        let phase = self.current_phase();
+        if let Some(rec) = &mut self.recorder {
+            rec.events.push(Event {
+                rank: self.rank,
+                start: self.clock,
+                end: self.clock,
+                phase,
+                kind: EventKind::Phase { name },
+            });
+        }
+    }
+
     /// Runs `f` inside a phase (begin/end are paired even on early
     /// `?` returns inside `f` — the result is propagated after the
     /// phase closes).

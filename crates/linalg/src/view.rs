@@ -39,16 +39,19 @@ impl<'a> View<'a> {
         View { data, rows, cols, ld }
     }
 
+    /// Row count of the viewed block.
     #[inline]
     pub fn rows(&self) -> usize {
         self.rows
     }
 
+    /// Column count of the viewed block.
     #[inline]
     pub fn cols(&self) -> usize {
         self.cols
     }
 
+    /// Leading dimension (column stride) of the underlying storage.
     #[inline]
     pub fn ld(&self) -> usize {
         self.ld
@@ -101,27 +104,32 @@ impl<'a> ViewMut<'a> {
         ViewMut { data, rows, cols, ld }
     }
 
+    /// Row count of the viewed block.
     #[inline]
     pub fn rows(&self) -> usize {
         self.rows
     }
 
+    /// Column count of the viewed block.
     #[inline]
     pub fn cols(&self) -> usize {
         self.cols
     }
 
+    /// Leading dimension (column stride) of the underlying storage.
     #[inline]
     pub fn ld(&self) -> usize {
         self.ld
     }
 
+    /// Element `(i, j)`.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
         debug_assert!(i < self.rows && j < self.cols);
         self.data[i + j * self.ld]
     }
 
+    /// Overwrites element `(i, j)` with `v`.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: f64) {
         debug_assert!(i < self.rows && j < self.cols);

@@ -1,0 +1,291 @@
+//! linkcheck: dependency-free markdown link checker for the repository's
+//! documentation.
+//!
+//! Scans the given markdown files (default: the repo's root `*.md` plus
+//! `docs/*.md`) for inline links and images, and verifies that
+//!
+//! - **relative file links** point at files or directories that exist
+//!   (resolved against the linking file's directory), and
+//! - **anchor links** (`#section`, in-file or cross-file) resolve to a
+//!   heading, using GitHub's slugification rules (lowercase, spaces to
+//!   hyphens, punctuation dropped, duplicate slugs suffixed `-1`, `-2`…).
+//!
+//! Absolute URLs (`http://`, `https://`, `mailto:`) are *not* fetched —
+//! the gate must pass offline — and links inside fenced code blocks or
+//! inline code spans are ignored, as are autolinks (`<https://…>`).
+//!
+//! Exit status: 0 when every link resolves, 1 otherwise (one line per
+//! broken link). Wired into `scripts/verify.sh` and CI next to
+//! `commlint`.
+//!
+//! ```text
+//! linkcheck [--root <dir>] [files...]
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// GitHub-style heading slug: lowercase; keep alphanumerics, hyphens and
+/// underscores; spaces become hyphens; everything else is dropped.
+fn slugify(heading: &str) -> String {
+    let mut out = String::new();
+    for ch in heading.trim().chars() {
+        let lower = ch.to_lowercase();
+        if ch.is_alphanumeric() || ch == '_' {
+            out.extend(lower);
+        } else if ch == ' ' || ch == '-' {
+            out.push('-');
+        }
+        // other punctuation: dropped
+    }
+    out
+}
+
+/// Strips markdown decoration a heading may carry before slugification:
+/// inline code backticks, link syntax (`[text](target)` → `text`), and
+/// emphasis markers.
+fn strip_heading_markup(h: &str) -> String {
+    let mut out = String::new();
+    let mut chars = h.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '`' | '*' => {}
+            '[' => {}
+            ']' => {
+                // Skip a following "(...)" target if present.
+                if chars.peek() == Some(&'(') {
+                    for c2 in chars.by_ref() {
+                        if c2 == ')' {
+                            break;
+                        }
+                    }
+                }
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// All heading anchors of one markdown document, with GitHub's
+/// duplicate-slug numbering.
+fn anchors_of(text: &str) -> Vec<String> {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut anchors = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("```") || trimmed.starts_with("~~~") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('#') {
+            let rest = rest.trim_start_matches('#');
+            if let Some(title) = rest.strip_prefix(' ') {
+                let slug = slugify(&strip_heading_markup(title));
+                let n = counts.entry(slug.clone()).or_insert(0);
+                anchors.push(if *n == 0 { slug } else { format!("{slug}-{n}") });
+                *n += 1;
+            }
+        }
+    }
+    anchors
+}
+
+/// One `[text](target)` or `![alt](target)` occurrence.
+#[derive(Debug)]
+struct Link {
+    target: String,
+    line: usize,
+}
+
+/// Extracts inline links, skipping fenced code blocks and inline code
+/// spans. Reference-style definitions (`[x]: url`) are rare in this repo
+/// and intentionally out of scope.
+fn links_of(text: &str) -> Vec<Link> {
+    let mut links = Vec::new();
+    let mut in_fence = false;
+    for (ln, line) in text.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("```") || trimmed.starts_with("~~~") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        // Blank out inline code spans so links inside backticks are ignored.
+        let mut clean = String::with_capacity(line.len());
+        let mut in_code = false;
+        for c in line.chars() {
+            if c == '`' {
+                in_code = !in_code;
+                clean.push(' ');
+            } else {
+                clean.push(if in_code { ' ' } else { c });
+            }
+        }
+        let bytes = clean.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b'[' {
+                // Find the matching ']' at nesting depth 0.
+                let mut depth = 1usize;
+                let mut j = i + 1;
+                while j < bytes.len() && depth > 0 {
+                    match bytes[j] {
+                        b'[' => depth += 1,
+                        b']' => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if depth == 0 && j < bytes.len() && bytes[j] == b'(' {
+                    if let Some(end) = clean[j + 1..].find(')') {
+                        let target = clean[j + 1..j + 1 + end].trim();
+                        // Drop an optional title: (path "title")
+                        let target = target.split_whitespace().next().unwrap_or("");
+                        if !target.is_empty() {
+                            links.push(Link { target: target.to_string(), line: ln + 1 });
+                        }
+                        i = j + 1 + end;
+                        continue;
+                    }
+                }
+                i += 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    links
+}
+
+fn is_external(target: &str) -> bool {
+    target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:")
+        || target.starts_with("ftp://")
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(r) => root = PathBuf::from(r),
+                None => {
+                    eprintln!("usage: linkcheck [--root <dir>] [files...]");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: linkcheck [--root <dir>] [files...]");
+                return ExitCode::from(2);
+            }
+            other => files.push(PathBuf::from(other)),
+        }
+    }
+    if files.is_empty() {
+        // Default scan set: root-level markdown plus docs/.
+        for dir in [root.clone(), root.join("docs")] {
+            let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+            let mut found: Vec<PathBuf> = entries
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|e| e == "md"))
+                .collect();
+            found.sort();
+            files.extend(found);
+        }
+    }
+    if files.is_empty() {
+        eprintln!("linkcheck: no markdown files found under {}", root.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut problems: Vec<String> = Vec::new();
+    let mut checked = 0usize;
+    for file in &files {
+        let Ok(text) = std::fs::read_to_string(file) else {
+            problems.push(format!("{}: cannot read", file.display()));
+            continue;
+        };
+        let own_anchors = anchors_of(&text);
+        let dir = file.parent().unwrap_or(Path::new("."));
+        for link in links_of(&text) {
+            if is_external(&link.target) {
+                continue;
+            }
+            checked += 1;
+            let (path_part, anchor) = match link.target.split_once('#') {
+                Some((p, a)) => (p, Some(a)),
+                None => (link.target.as_str(), None),
+            };
+            let (target_file, target_anchors): (PathBuf, Option<Vec<String>>) =
+                if path_part.is_empty() {
+                    (file.clone(), Some(own_anchors.clone()))
+                } else {
+                    let resolved = dir.join(path_part);
+                    if !resolved.exists() {
+                        problems.push(format!(
+                            "{}:{}: broken link {:?} (no such file)",
+                            file.display(),
+                            link.line,
+                            link.target
+                        ));
+                        continue;
+                    }
+                    let a = if resolved.extension().is_some_and(|e| e == "md") {
+                        std::fs::read_to_string(&resolved).ok().map(|t| anchors_of(&t))
+                    } else {
+                        None
+                    };
+                    (resolved, a)
+                };
+            if let Some(anchor) = anchor {
+                let Some(anchors) = &target_anchors else {
+                    problems.push(format!(
+                        "{}:{}: anchor {:?} into non-markdown {:?}",
+                        file.display(),
+                        link.line,
+                        anchor,
+                        target_file.display()
+                    ));
+                    continue;
+                };
+                let want = anchor.to_lowercase();
+                if !anchors.contains(&want) {
+                    problems.push(format!(
+                        "{}:{}: broken anchor {:?} (no heading slug {:?} in {})",
+                        file.display(),
+                        link.line,
+                        link.target,
+                        want,
+                        target_file.display()
+                    ));
+                }
+            }
+        }
+    }
+
+    if problems.is_empty() {
+        println!(
+            "linkcheck OK: {checked} relative link(s) across {} file(s) all resolve",
+            files.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("linkcheck FAILED ({} problem(s)):", problems.len());
+        for p in &problems {
+            eprintln!("  - {p}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -20,6 +20,8 @@
 //!   slowest member, the synchronous-algorithm convention of §V-A, and
 //!   booking only part of a node's processors when needed, §III).
 
+#![warn(missing_docs)]
+
 pub mod catalog;
 pub mod profile;
 pub mod scheduler;

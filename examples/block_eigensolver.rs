@@ -84,7 +84,7 @@ fn main() {
 
     // Distributed subspace iteration through the library API.
     let layout = DomainLayout::build(rt.topology(), m as u64, k, 4);
-    let tree = ReductionTree::build(TreeShape::GridHierarchical, 8, &layout.clusters());
+    let tree = ReductionTree::build(&TreeShape::GridHierarchical, 8, &layout.clusters());
     let cfg = EigsolveConfig {
         k,
         sweeps,

@@ -18,7 +18,7 @@ use grid_tsqr::qcg::{allocate, JobProfile, ResourceCatalog};
 
 fn run_shape(rt: &Runtime, shape: TreeShape, label: &str, m: u64, n: usize) {
     let layout = DomainLayout::build(rt.topology(), m, n, 64);
-    let tree = ReductionTree::build(shape, layout.num_domains(), &layout.clusters());
+    let tree = ReductionTree::build(&shape, layout.num_domains(), &layout.clusters());
     let cfg = TsqrConfig { shape, domains_per_cluster: 64, ..Default::default() };
     let report = rt.run(|p, _| tsqr_rank_program(p, &layout, &tree, &cfg, 1, None).map(|_| ()));
     println!(

@@ -29,6 +29,9 @@ echo "==> commlint (static determinism lint: wall clock, HashMap iteration,"
 echo "    wildcard receives, tag protocol; see docs/static-analysis.md)"
 cargo run --release -q -p tsqr-lint --bin commlint
 
+echo "==> linkcheck (markdown links + anchors across README, EXPERIMENTS, docs/)"
+cargo run --release -q -p tsqr-lint --bin linkcheck
+
 echo "==> commcheck (happens-before gate: figure scenarios + fault matrix"
 echo "    + DPOR-lite explorer, pinned against COMMCHECK_baseline.txt)"
 ./target/release/grid-tsqr check --recv-timeout 60 --golden COMMCHECK_baseline.txt

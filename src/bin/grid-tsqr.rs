@@ -3,9 +3,11 @@
 //! ```text
 //! grid-tsqr info
 //! grid-tsqr tsqr      --m 1048576 --n 64  [--sites 4] [--domains 64]
-//!                     [--tree grid|binary|flat] [--real] [--q]
+//!                     [--tree grid|binary|flat|kary:<k>|binomial|greedy]
+//!                     [--real] [--q]
 //! grid-tsqr scalapack --m 1048576 --n 64  [--sites 4] [--real] [--blocked]
 //! grid-tsqr compare   --m 1048576 --n 64  [--sites 4]
+//! grid-tsqr tune      --m 1048576 --n 64  [--sites 4] [--domains 64]
 //! grid-tsqr trace     --m 1048576 --n 64  [--sites 4] [--algo tsqr|scalapack]
 //!                     [--out trace.json] [--timeline]
 //! grid-tsqr analyze   --m 1048576 --n 64  [--sites 4] [--algo tsqr|scalapack]
@@ -17,6 +19,12 @@
 //! grid-tsqr check     [--m 65536 --n 32] [--sites 4] [--no-matrix]
 //!                     [--no-explore] [--golden COMMCHECK_baseline.txt] [--bless]
 //! ```
+//!
+//! `tune` runs the model-driven reduction-tree autotuner
+//! (`tsqr_core::tune`, handbook in `docs/tuning.md`): it predicts the
+//! makespan of every candidate tree shape analytically from the
+//! calibrated cost model, prints the search table, and cross-checks the
+//! winner against an actual `netsim` replay.
 //!
 //! By default experiments run symbolically (paper scale in milliseconds)
 //! at the calibrated kernel rates; `--real` switches to real numerics and
@@ -63,6 +71,7 @@ use grid_tsqr::core::ft_tsqr::ft_tsqr_rank_program;
 use grid_tsqr::core::modelfit;
 use grid_tsqr::core::tree::{ReductionTree, TreeShape};
 use grid_tsqr::core::tsqr::{tsqr_rank_program, TsqrConfig};
+use grid_tsqr::core::tune;
 use grid_tsqr::core::workload;
 use grid_tsqr::gridmpi::{explore, fnv1a, schedules_for, HbReport, Runtime};
 use grid_tsqr::linalg::prelude::QrFactors;
@@ -121,6 +130,30 @@ impl Args {
     }
 }
 
+/// Parses a `--tree` value: the three fixed shapes plus the generated
+/// families the autotuner searches over (`kary:<k>`, `binomial`,
+/// `greedy`; `kary:1` is a chain).
+fn parse_shape(s: &str) -> Result<TreeShape, String> {
+    if let Some(k) = s.strip_prefix("kary:") {
+        let k: usize =
+            k.parse().map_err(|_| format!("--tree kary:<k>: cannot parse {k:?}"))?;
+        if k == 0 {
+            return Err("--tree kary:<k> needs k >= 1".into());
+        }
+        return Ok(TreeShape::Kary(k));
+    }
+    match s {
+        "grid" => Ok(TreeShape::GridHierarchical),
+        "binary" => Ok(TreeShape::Binary),
+        "flat" => Ok(TreeShape::Flat),
+        "binomial" => Ok(TreeShape::Binomial),
+        "greedy" => Ok(TreeShape::Greedy),
+        other => Err(format!(
+            "unknown tree shape {other:?} (flat|binary|grid|kary:<k>|binomial|greedy)"
+        )),
+    }
+}
+
 fn usage() -> ExitCode {
     eprint!(
         "grid-tsqr: TSQR / ScaLAPACK QR on a simulated computational grid\n\
@@ -128,14 +161,15 @@ fn usage() -> ExitCode {
          USAGE:\n\
          \x20 grid-tsqr info\n\
          \x20 grid-tsqr tsqr      --m <rows> --n <cols> [--sites 1..4] [--domains <d/cluster>]\n\
-         \x20                     [--tree grid|binary|flat] [--real] [--q] [--seed <u64>]\n\
+         \x20                     [--tree <shape>] [--real] [--q] [--seed <u64>]\n\
          \x20 grid-tsqr scalapack --m <rows> --n <cols> [--sites 1..4] [--real] [--blocked]\n\
          \x20 grid-tsqr compare   --m <rows> --n <cols> [--sites 1..4]\n\
+         \x20 grid-tsqr tune      --m <rows> --n <cols> [--sites 1..4] [--domains <d/cluster>]\n\
          \x20 grid-tsqr trace     --m <rows> --n <cols> [--sites 1..4] [--algo tsqr|scalapack]\n\
-         \x20                     [--domains <d>] [--tree grid|binary|flat] [--real]\n\
+         \x20                     [--domains <d>] [--tree <shape>] [--real]\n\
          \x20                     [--out <file.json>] [--timeline]\n\
          \x20 grid-tsqr analyze   --m <rows> --n <cols> [--sites 1..4] [--algo tsqr|scalapack]\n\
-         \x20                     [--domains <d>] [--tree grid|binary|flat] [--bins <timeline bins>]\n\
+         \x20                     [--domains <d>] [--tree <shape>] [--bins <timeline bins>]\n\
          \x20 grid-tsqr faults    --m <rows> --n <cols> [--sites 1..4] [--fault-seed <u64>]\n\
          \x20                     [--crash RANK@MS ...] [--drop SRC:DST:NTH ...]\n\
          \x20                     [--drop-prob SRC:DST:P ...] [--wan-slow FROM_MS:UNTIL_MS:LATx:BWx]\n\
@@ -143,6 +177,8 @@ fn usage() -> ExitCode {
          \x20 grid-tsqr check     [--m <rows> --n <cols>] [--sites 1..4] [--no-matrix]\n\
          \x20                     [--no-explore] [--golden <baseline.txt>] [--bless]\n\
          \n\
+         Tree shapes: flat | binary | grid | kary:<k> | binomial | greedy\n\
+         (kary:1 is a chain; see docs/tuning.md for the closed forms).\n\
          Every subcommand accepts --recv-timeout <seconds> (wall-clock deadlock\n\
          safety net; failure detection itself runs in virtual time).\n\
          faults runs the self-healing TSQR with real numerics under an injected\n\
@@ -151,6 +187,9 @@ fn usage() -> ExitCode {
          See docs/fault-injection.md.\n\
          Symbolic runs (default) execute the full distributed schedule with\n\
          model-priced virtual time; --real moves actual matrices and checks R.\n\
+         tune searches every candidate tree shape with the analytic makespan\n\
+         predictor (docs/tuning.md), prints the table, and cross-checks the\n\
+         winner against a netsim replay to 1e-9.\n\
          trace prints the critical path and per-phase Eq. (1) ledger of one\n\
          run; --out writes Chrome-trace JSON for ui.perfetto.dev.\n\
          analyze prints the wait-state breakdown, link utilization, the\n\
@@ -250,12 +289,7 @@ fn run() -> Result<String, String> {
     match cmd.as_str() {
         "tsqr" => {
             let domains: usize = args.num("domains", 64usize)?;
-            let shape = match args.get("tree").unwrap_or("grid") {
-                "grid" => TreeShape::GridHierarchical,
-                "binary" => TreeShape::Binary,
-                "flat" => TreeShape::Flat,
-                other => return Err(format!("unknown tree shape {other:?}")),
-            };
+            let shape = parse_shape(args.get("tree").unwrap_or("grid"))?;
             let (rate, combine) = rates(n);
             let res = run_experiment(
                 &rt,
@@ -322,12 +356,7 @@ fn run() -> Result<String, String> {
         }
         "trace" | "analyze" => {
             let domains: usize = args.num("domains", 64usize)?;
-            let shape = match args.get("tree").unwrap_or("grid") {
-                "grid" => TreeShape::GridHierarchical,
-                "binary" => TreeShape::Binary,
-                "flat" => TreeShape::Flat,
-                other => return Err(format!("unknown tree shape {other:?}")),
-            };
+            let shape = parse_shape(args.get("tree").unwrap_or("grid"))?;
             let (algorithm, rate, combine) = match args.get("algo").unwrap_or("tsqr") {
                 "tsqr" => {
                     let (r, c) = rates(n);
@@ -491,7 +520,7 @@ fn run() -> Result<String, String> {
             let dpc = rt.topology().num_procs() / sites;
             let layout = DomainLayout::build(rt.topology(), m, n, dpc);
             let tree = ReductionTree::build(
-                TreeShape::GridHierarchical,
+                &TreeShape::GridHierarchical,
                 layout.num_domains(),
                 &layout.clusters(),
             );
@@ -584,6 +613,63 @@ fn run() -> Result<String, String> {
             }
             Ok(out)
         }
+        "tune" => {
+            // Model-driven reduction-tree search (docs/tuning.md): predict
+            // every candidate's makespan from the calibrated cost model,
+            // pick the argmin, replay the winner through netsim, and show
+            // how it stacks up against the fixed shapes.
+            let domains: usize = args.num("domains", 64usize)?;
+            let topo = rt.topology();
+            let per_cluster = topo.num_procs() / topo.num_clusters().max(1);
+            if domains != per_cluster {
+                return Err(format!(
+                    "--domains {domains}: the analytic predictor needs single-process \
+                     domains, i.e. --domains {per_cluster} on this topology \
+                     ({per_cluster} procs/cluster). Grouped-domain runs are still \
+                     available via `grid-tsqr tsqr --domains {domains}`."
+                ));
+            }
+            let (rate, combine) = rates(n);
+            let outcome = tune::autotune(&rt, m, n, domains, rate, combine);
+            let mut out = format!(
+                "model-driven tree search: {} single-process domains over {sites} site(s), \
+                 M={m}, N={n}\n\n  {:<12} {:>15} {:>6} {:>9}\n",
+                outcome.domains, "tree", "predicted (s)", "depth", "WAN msgs"
+            );
+            for (i, c) in outcome.table.iter().enumerate() {
+                let mark = if i == outcome.winner { "   <-- winner" } else { "" };
+                out.push_str(&format!(
+                    "  {:<12} {:>15.6} {:>6} {:>9}{mark}\n",
+                    c.name,
+                    c.predicted.secs(),
+                    c.depth,
+                    c.wan_msgs
+                ));
+            }
+            let best = outcome.best();
+            let rel = (best.predicted.secs() - outcome.replayed.secs()).abs()
+                / outcome.replayed.secs().abs().max(1e-12);
+            out.push_str(&format!(
+                "\nwinner: {} — predicted {:.6} s, netsim replay {:.6} s (agree to {rel:.1e} rel)\n",
+                best.name,
+                best.predicted.secs(),
+                outcome.replayed.secs()
+            ));
+            let layout = DomainLayout::build(rt.topology(), m, n, domains);
+            for (name, shape) in [
+                ("flat", TreeShape::Flat),
+                ("binary", TreeShape::Binary),
+                ("grid", TreeShape::GridHierarchical),
+            ] {
+                let fixed = tune::replay_makespan(&rt, &layout, &shape, rate, combine);
+                out.push_str(&format!(
+                    "vs fixed {name:<7} {:>10.6} s  (tuned is {:.3}x)\n",
+                    fixed.secs(),
+                    fixed.secs() / outcome.replayed.secs()
+                ));
+            }
+            Ok(out)
+        }
         "check" => {
             // commcheck: every scenario runs with tracing on, every trace
             // goes through the happens-before analyzer, and the structural
@@ -650,6 +736,9 @@ fn run() -> Result<String, String> {
                 ("tsqr-grid", TreeShape::GridHierarchical),
                 ("tsqr-binary", TreeShape::Binary),
                 ("tsqr-flat", TreeShape::Flat),
+                ("tsqr-kary3", TreeShape::Kary(3)),
+                ("tsqr-binomial", TreeShape::Binomial),
+                ("tsqr-greedy", TreeShape::Greedy),
             ] {
                 let hb = figure(Algorithm::Tsqr { shape, domains_per_cluster: 64 }, combine)?;
                 record(name, &hb);
@@ -676,7 +765,7 @@ fn run() -> Result<String, String> {
                 let dpc = rt.topology().num_procs() / sites;
                 let layout = DomainLayout::build(rt.topology(), m, n, dpc);
                 let tree = ReductionTree::build(
-                    TreeShape::GridHierarchical,
+                    &TreeShape::GridHierarchical,
                     layout.num_domains(),
                     &layout.clusters(),
                 );
@@ -757,7 +846,7 @@ fn run() -> Result<String, String> {
                     CostModel::homogeneous(LinkParams::from_ms_mbps(0.5, 800.0), 1e9, 2);
                 let slayout = DomainLayout::build(&small_topo(), 4096, 8, 4);
                 let stree = ReductionTree::build(
-                    TreeShape::GridHierarchical,
+                    &TreeShape::GridHierarchical,
                     slayout.num_domains(),
                     &slayout.clusters(),
                 );

@@ -160,7 +160,7 @@ fn explorer_proves_tsqr_r_bit_identical_for_p8() {
     // with race-free traces — an exhaustive argument for small trees.
     let layout = DomainLayout::build(explorer_grid().topology(), 4096, 8, 4);
     let tree = ReductionTree::build(
-        TreeShape::GridHierarchical,
+        &TreeShape::GridHierarchical,
         layout.num_domains(),
         &layout.clusters(),
     );

@@ -139,7 +139,7 @@ fn explicit_q_distributed_equals_local_qr() {
     let rt = small_grid5000(2, 1); // 2 sites x 2 procs
     let (m, n, seed) = (512u64, 6usize, 17u64);
     let layout = DomainLayout::build(rt.topology(), m, n, 2);
-    let tree = ReductionTree::build(TreeShape::GridHierarchical, 4, &layout.clusters());
+    let tree = ReductionTree::build(&TreeShape::GridHierarchical, 4, &layout.clusters());
     let cfg = TsqrConfig {
         shape: TreeShape::GridHierarchical,
         domains_per_cluster: 2,
@@ -212,7 +212,7 @@ fn tracing_itemizes_the_wan_bill() {
 
     let (m, n) = (512u64, 4usize);
     let layout = DomainLayout::build(rt.topology(), m, n, 4);
-    let tree = ReductionTree::build(TreeShape::GridHierarchical, 12, &layout.clusters());
+    let tree = ReductionTree::build(&TreeShape::GridHierarchical, 12, &layout.clusters());
     let cfg = TsqrConfig {
         shape: TreeShape::GridHierarchical,
         domains_per_cluster: 4,

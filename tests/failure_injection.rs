@@ -98,7 +98,7 @@ fn tsqr_surfaces_failure_on_the_reduction_edge() {
     let mut rt = runtime(4);
     rt.fail_link(1, 0); // the binary tree's first combine edge
     let layout = DomainLayout::build(rt.topology(), 256, 4, 4);
-    let tree = ReductionTree::build(TreeShape::Binary, 4, &layout.clusters());
+    let tree = ReductionTree::build(&TreeShape::Binary, 4, &layout.clusters());
     let cfg = TsqrConfig {
         shape: TreeShape::Binary,
         domains_per_cluster: 4,

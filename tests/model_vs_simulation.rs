@@ -115,7 +115,7 @@ fn least_squares_fit_recovers_eq1_on_homogeneous_network() {
             &Experiment {
                 m: 1 << 20,
                 n: 32,
-                algorithm,
+                algorithm: algorithm.clone(),
                 compute_q: false,
                 mode: Mode::Symbolic,
                 rate_flops: Some(RATE),
@@ -247,7 +247,7 @@ fn property_5_crossover_in_simulation() {
     let tsqr_cfg = Algorithm::Tsqr { shape: TreeShape::Binary, domains_per_cluster: procs };
     let m = 1u64 << 17;
     // Mid-range N: TSQR faster.
-    assert!(time(tsqr_cfg, 64, m) < time(Algorithm::ScalapackQr2, 64, m));
+    assert!(time(tsqr_cfg.clone(), 64, m) < time(Algorithm::ScalapackQr2, 64, m));
     // Very large N (8192 rows per rank, N = 3072): TSQR's extra
     // 2/3·log₂(P)·N³ flops exceed ScaLAPACK's 2N·log₂(P) latency bill and
     // ScaLAPACK wins — the crossover of Property 5.

@@ -1,0 +1,6 @@
+//! Offline stub of `bytes`. The workspace declares the dependency but
+//! does not currently use it; a minimal `Bytes` alias is provided in
+//! case that changes. See `third_party/README.md`.
+
+/// Cheap byte-buffer stand-in (no refcounted slicing).
+pub type Bytes = Vec<u8>;

@@ -1,0 +1,41 @@
+//! Offline stub of the subset of `crossbeam` this workspace uses:
+//! `channel::{unbounded, Sender, Receiver, RecvTimeoutError, ...}`,
+//! backed by `std::sync::mpsc`. Semantics match for the patterns the
+//! runtime relies on (cloned senders, single receiver per process,
+//! `recv_timeout`, `try_recv`, disconnect on drop). The std receiver is
+//! not `Clone`/`Sync` like crossbeam's, which this workspace never
+//! needs. See `third_party/README.md`.
+
+/// Multi-producer channels (subset of `crossbeam::channel`).
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{Receiver, Sender};
+
+    /// An unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError, TryRecvError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_timeout_and_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(7));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(8).unwrap();
+        assert_eq!(rx.try_recv(), Ok(8));
+        drop(tx2);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+}

@@ -1,0 +1,5 @@
+//! Offline stub of `parking_lot`. The workspace declares the dependency
+//! but does not currently use it; thin aliases to the std primitives are
+//! provided in case that changes. See `third_party/README.md`.
+
+pub use std::sync::{Mutex, RwLock};

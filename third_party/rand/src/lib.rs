@@ -1,0 +1,110 @@
+//! Offline stub of the subset of `rand` 0.8 this workspace uses.
+//!
+//! See `third_party/README.md`: activated only through an out-of-repo
+//! `[patch.crates-io]`; numerically different from the real crate (the
+//! `StdRng` is a SplitMix64, not ChaCha12) but API-compatible for the
+//! calls the workspace makes, and deterministic for a given seed.
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing random-value API (subset).
+pub trait Rng: RngCore {
+    /// A uniform value in `[0, 1)`.
+    fn gen_f64_unit(&mut self) -> f64 {
+        // 53 random mantissa bits, the standard [0, 1) construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Seedable construction (subset: `seed_from_u64` only).
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Stand-in for `rand::rngs::StdRng`: a SplitMix64. Deterministic
+    /// per seed, statistically fine for test workloads, *not* the real
+    /// ChaCha12 stream.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele et al.), the canonical seeding mixer.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+/// Distributions (subset: `Uniform<f64>`).
+pub mod distributions {
+    use super::Rng;
+
+    /// A distribution sampling values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over a closed interval of `f64`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        lo: T,
+        hi: T,
+    }
+
+    impl Uniform<f64> {
+        /// Uniform over `[lo, hi]`.
+        pub fn new_inclusive(lo: f64, hi: f64) -> Self {
+            assert!(lo <= hi, "empty uniform range");
+            Uniform { lo, hi }
+        }
+    }
+
+    impl Distribution<f64> for Uniform<f64> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            self.lo + rng.gen_f64_unit() * (self.hi - self.lo)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::SeedableRng;
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_distinct() {
+        let dist = Uniform::new_inclusive(-1.0, 1.0);
+        let draw = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..32).map(|_| dist.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+        assert!(draw(7).iter().all(|x| (-1.0..=1.0).contains(x)));
+    }
+}

@@ -1,0 +1,43 @@
+//! Offline stub of the subset of `rayon` this workspace uses:
+//! `current_num_threads` and `prelude::*` providing `par_chunks_mut`.
+//! Everything runs sequentially on the calling thread — `par_*` methods
+//! return the corresponding std iterators, so adapters like
+//! `.enumerate().for_each(...)` still compile and produce identical
+//! results (the blocked gemm writes disjoint strips either way). See
+//! `third_party/README.md`.
+
+/// Number of worker threads: always 1 in the sequential stub.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// The names `use rayon::prelude::*` is expected to bring in.
+pub mod prelude {
+    /// Sequential stand-in for rayon's `ParallelSliceMut`.
+    pub trait ParallelSliceMut<T> {
+        /// "Parallel" mutable chunks — sequentially, via `chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_covers_all_elements() {
+        let mut v = vec![0u32; 10];
+        v.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x = i as u32;
+            }
+        });
+        assert_eq!(v, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+}

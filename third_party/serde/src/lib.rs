@@ -1,0 +1,8 @@
+//! Offline stub of `serde`: exposes the `Serialize`/`Deserialize`
+//! derive macros (which expand to nothing) and matching empty marker
+//! traits for bounds. The workspace derives the traits on its wire
+//! types for downstream consumers but never serializes in-tree (there
+//! is no `serde_json` here), so no-op impls suffice. See
+//! `third_party/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! Offline stub of `serde_derive`: the derives expand to nothing.
+//!
+//! Nothing in this workspace actually serializes (there is no
+//! `serde_json` dependency); the derives only need to *compile*, along
+//! with `#[serde(...)]` field attributes. See `third_party/README.md`.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`; accepts `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`; accepts `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
