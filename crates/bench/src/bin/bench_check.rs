@@ -16,13 +16,19 @@
 //! re-asserts the critical-path and wait-state reconciliation invariants,
 //! so a green gate certifies the whole observability stack, not just the
 //! headline numbers. Exits non-zero on any mismatch.
+//!
+//! When `GRID_TSQR_LEDGER=<file>` is set (as `scripts/bench_check.sh` does
+//! by default), every measured point is additionally appended to the
+//! cross-run experiment ledger with `source = "bench_check"`, feeding the
+//! `grid-tsqr report` trend/anomaly dashboard.
 
 use std::process::ExitCode;
 
 use tsqr_bench::figures::{
-    all_figures, bench_records, compare_records, fault_bench_records, parse_records,
-    records_json, tune_bench_records,
+    all_figures, bench_records_full, compare_records, fault_bench_records_full,
+    parse_records, records_json, tune_bench_records_full,
 };
+use tsqr_obs::ledger::{append_entry, path_from_env, LedgerEntry};
 
 fn usage() -> ! {
     eprintln!(
@@ -32,7 +38,8 @@ fn usage() -> ! {
          --out <file>       also write the freshly measured records here\n\
          --bless            write the measured records to --baseline and exit\n\
          \n\
-         env: GRID_TSQR_BENCH_RTOL  relative tolerance for times (default 1e-9)"
+         env: GRID_TSQR_BENCH_RTOL  relative tolerance for times (default 1e-9)\n\
+         env: GRID_TSQR_LEDGER      append every point to this experiment-ledger JSONL"
     );
     std::process::exit(2);
 }
@@ -63,32 +70,35 @@ fn main() -> ExitCode {
 
     eprintln!("# measuring {} figures (deterministic simulation)...", all_figures().len());
     let mut measured = Vec::new();
+    let mut entries: Vec<LedgerEntry> = Vec::new();
+    let mut take = |(rec, entry): (tsqr_bench::BenchRecord, LedgerEntry)| {
+        eprintln!(
+            "#   {:<16} makespan {:>10.4} s  {:>7.1} Gflop/s  {:>6} WAN msgs  residual {:.2e}",
+            rec.id, rec.makespan_s, rec.gflops, rec.wan_msgs, rec.model_residual
+        );
+        measured.push(rec);
+        entries.push(entry);
+    };
     for fig in all_figures() {
-        for rec in bench_records(fig) {
-            eprintln!(
-                "#   {:<16} makespan {:>10.4} s  {:>7.1} Gflop/s  {:>6} WAN msgs  residual {:.2e}",
-                rec.id, rec.makespan_s, rec.gflops, rec.wan_msgs, rec.model_residual
-            );
-            measured.push(rec);
-        }
+        bench_records_full(fig).into_iter().for_each(&mut take);
     }
     eprintln!("# measuring WAN-degradation scenarios (fault injector)...");
-    for rec in fault_bench_records() {
-        eprintln!(
-            "#   {:<16} makespan {:>10.4} s  {:>7.1} Gflop/s  {:>6} WAN msgs  residual {:.2e}",
-            rec.id, rec.makespan_s, rec.gflops, rec.wan_msgs, rec.model_residual
-        );
-        measured.push(rec);
-    }
+    fault_bench_records_full().into_iter().for_each(&mut take);
     eprintln!("# measuring autotuned-tree points (model-driven search)...");
-    for rec in tune_bench_records() {
-        eprintln!(
-            "#   {:<16} makespan {:>10.4} s  {:>7.1} Gflop/s  {:>6} WAN msgs  residual {:.2e}",
-            rec.id, rec.makespan_s, rec.gflops, rec.wan_msgs, rec.model_residual
-        );
-        measured.push(rec);
-    }
+    tune_bench_records_full().into_iter().for_each(&mut take);
     let doc = records_json(&measured);
+
+    if let Some(path) = path_from_env() {
+        let n = entries.len();
+        for mut entry in entries {
+            entry.source = "bench_check".into();
+            if let Err(e) = append_entry(&path, entry) {
+                eprintln!("error: appending to ledger {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!("# ledger: {n} entries -> {}", path.display());
+    }
 
     if let Some(out_path) = &out {
         if let Err(e) = std::fs::write(out_path, &doc) {

@@ -25,7 +25,9 @@ use tsqr_core::experiment::{run_experiment, Algorithm, Experiment, Mode};
 use tsqr_core::modelfit;
 use tsqr_core::tree::TreeShape;
 use tsqr_core::tune;
+use tsqr_gridmpi::{FoldedProfile, MetricsRegistry, Trace};
 use tsqr_netsim::{FailureSchedule, VirtualTime};
+use tsqr_obs::ledger::{EnvFingerprint, LedgerEntry, ModelCoeffs, PhaseRow};
 
 use crate::calib;
 use crate::harness::grid_runtime;
@@ -135,20 +137,123 @@ pub struct BenchRecord {
     pub model_residual: f64,
 }
 
+/// Stable ledger label for the configuration's reduction structure.
+fn tree_label(algorithm: &Algorithm) -> String {
+    match algorithm {
+        Algorithm::Tsqr { shape, domains_per_cluster } => {
+            format!("{shape:?}/dpc{domains_per_cluster}")
+        }
+        Algorithm::ScalapackQr2 => "scalapack-qr2".to_string(),
+        Algorithm::ScalapackQrf { nb, nx } => format!("scalapack-qrf/nb{nb}/nx{nx}"),
+    }
+}
+
+/// Distills a finished run into an experiment-ledger entry
+/// (`grid-tsqr-ledger/v1`): totals and per-phase Eq. (1) ledgers from
+/// the metrics registries, the critical-path split from the trace (zeros
+/// without one), the fitted model with per-phase predictions, and the
+/// environment fingerprint. Shared by the bench harness and the CLI's
+/// `tune`/`faults` ledger hooks.
+#[allow(clippy::too_many_arguments)] // a ledger line simply has this many facts
+pub fn ledger_entry(
+    source: &str,
+    scenario: &str,
+    sites: usize,
+    procs: usize,
+    m: u64,
+    n: usize,
+    tree: &str,
+    makespan_s: f64,
+    gflops: f64,
+    metrics: &[MetricsRegistry],
+    trace: Option<&Trace>,
+) -> LedgerEntry {
+    let mut agg = MetricsRegistry::default();
+    for reg in metrics {
+        agg.merge(reg);
+    }
+    let fit = modelfit::fit(&modelfit::samples_from_metrics(metrics));
+    let phases: Vec<PhaseRow> = agg
+        .phase_names()
+        .iter()
+        .map(|name| {
+            let c = agg.phase(name).expect("listed phase exists");
+            let predicted_s = fit
+                .as_ref()
+                .and_then(|f| f.per_phase.iter().find(|(l, _, _)| l == name))
+                .map(|(_, _, pred)| *pred)
+                .unwrap_or(0.0);
+            PhaseRow {
+                name: name.to_string(),
+                msgs: c.msgs,
+                bytes: c.bytes,
+                flops: c.flops,
+                send_s: c.send_s.iter().sum(),
+                compute_s: c.compute_s,
+                wait_s: c.recv_wait_s,
+                predicted_s,
+            }
+        })
+        .collect();
+    let total = agg.total();
+    let cps = trace.map(|t| t.critical_path().summary());
+    LedgerEntry {
+        seq: 0, // assigned by tsqr_obs::ledger::append_entry
+        source: source.to_string(),
+        scenario: scenario.to_string(),
+        sites,
+        procs,
+        m: m as usize,
+        n,
+        tree: tree.to_string(),
+        makespan_s,
+        gflops,
+        msgs: total.total_msgs(),
+        wan_msgs: total.wan_msgs(),
+        bytes: total.total_bytes(),
+        cp_compute_s: cps.as_ref().map(|s| s.compute_s).unwrap_or(0.0),
+        cp_send_s: cps.as_ref().map(|s| s.send_s).unwrap_or(0.0),
+        cp_wan_msgs: cps.as_ref().map(|s| s.wan_messages as u64).unwrap_or(0),
+        wait_s: total.recv_wait_s,
+        fit: fit
+            .map(|f| ModelCoeffs {
+                beta_s: f.beta_s,
+                alpha_s_per_word: f.alpha_s_per_word,
+                gamma_s_per_flop: f.gamma_s_per_flop,
+                rel_residual: f.rel_residual,
+            })
+            .unwrap_or(ModelCoeffs {
+                beta_s: 0.0,
+                alpha_s_per_word: 0.0,
+                gamma_s_per_flop: 0.0,
+                rel_residual: 0.0,
+            }),
+        phases,
+        env: EnvFingerprint::current(),
+    }
+}
+
 /// Runs one headline point traced and distills it into a
-/// [`BenchRecord`]. Also asserts the two cross-layer invariants the
+/// [`BenchRecord`]. Also asserts the three cross-layer invariants the
 /// observability stack guarantees: the critical path tiles the makespan,
-/// and the wait-state classification reconciles with the metrics
-/// registry to 1e-9 — so every bench run doubles as an integration test
-/// of the diagnostics.
+/// the wait-state classification reconciles with the metrics registry to
+/// 1e-9, and the folded-stack profile tiles every rank's timeline — so
+/// every bench run doubles as an integration test of the diagnostics.
 pub fn measure_point(point: &FigurePoint) -> BenchRecord {
+    measure_point_full(point).0
+}
+
+/// [`measure_point`] plus the run's experiment-ledger entry.
+pub fn measure_point_full(point: &FigurePoint) -> (BenchRecord, LedgerEntry) {
     measure_on(&point.id(), point.sites, point.m, point.n, point.algorithm.clone(), None)
 }
 
 /// Shared measurement core of [`measure_point`] and
 /// [`measure_fault_point`]: runs one traced configuration (optionally
-/// under a failure schedule) and distills it into a [`BenchRecord`],
-/// asserting the critical-path and wait-state invariants along the way.
+/// under a failure schedule) and distills it into a [`BenchRecord`] and
+/// a ledger entry (source `"figure"`; callers with a different
+/// provenance overwrite it), asserting the critical-path, wait-state
+/// and profile-tiling invariants along the way.
 fn measure_on(
     id: &str,
     sites: usize,
@@ -156,7 +261,8 @@ fn measure_on(
     n: usize,
     algorithm: Algorithm,
     schedule: Option<FailureSchedule>,
-) -> BenchRecord {
+) -> (BenchRecord, LedgerEntry) {
+    let tree = tree_label(&algorithm);
     let mut rt = grid_runtime(sites);
     if let Some(s) = schedule {
         rt.set_failure_schedule(s);
@@ -192,8 +298,29 @@ fn measure_on(
         drift <= 1e-9 * wait_scale,
         "wait states must reconcile with recv_wait_s ({id}: drift {drift})"
     );
-    let fit = modelfit::fit(&modelfit::samples_from_metrics(&res.metrics));
-    BenchRecord {
+    // Folded-profile tiling invariant (`docs/observability.md` §9): the
+    // flamegraph's per-rank leaf self-times must sum to that rank's
+    // makespan — nothing dropped, nothing double-counted.
+    let profile = FoldedProfile::from_trace(trace, rt.topology().num_procs());
+    let tile_err = profile.max_tiling_error_rel();
+    assert!(
+        tile_err <= 1e-9,
+        "folded profile must tile every rank's timeline ({id}: rel err {tile_err:.3e})"
+    );
+    let entry = ledger_entry(
+        "figure",
+        id,
+        sites,
+        rt.topology().num_procs(),
+        m,
+        n,
+        &tree,
+        res.makespan.secs(),
+        res.gflops,
+        &res.metrics,
+        Some(trace),
+    );
+    let record = BenchRecord {
         id: id.to_string(),
         sites,
         m,
@@ -207,13 +334,19 @@ fn measure_on(
         cp_send_s: cps.send_s,
         cp_wan_msgs: cps.wan_messages as u64,
         wait_s: diag.total().total_wait_s(),
-        model_residual: fit.map(|f| f.rel_residual).unwrap_or(0.0),
-    }
+        model_residual: entry.fit.rel_residual,
+    };
+    (record, entry)
 }
 
 /// Measures every headline point of one figure.
 pub fn bench_records(figure: &str) -> Vec<BenchRecord> {
     figure_points(figure).iter().map(measure_point).collect()
+}
+
+/// [`bench_records`] plus each point's experiment-ledger entry.
+pub fn bench_records_full(figure: &str) -> Vec<(BenchRecord, LedgerEntry)> {
+    figure_points(figure).iter().map(measure_point_full).collect()
 }
 
 /// One WAN-degradation scenario of the fault bench: a headline
@@ -293,14 +426,22 @@ pub fn fault_points() -> Vec<FaultPoint> {
 /// Runs one degradation scenario traced and distills it into a
 /// [`BenchRecord`] (same invariants as [`measure_point`]).
 pub fn measure_fault_point(point: &FaultPoint) -> BenchRecord {
-    measure_on(
+    measure_fault_point_full(point).0
+}
+
+/// [`measure_fault_point`] plus the run's experiment-ledger entry
+/// (source `"faults"`).
+pub fn measure_fault_point_full(point: &FaultPoint) -> (BenchRecord, LedgerEntry) {
+    let (record, mut entry) = measure_on(
         &point.id(),
         point.sites,
         point.m,
         point.n,
         point.algorithm.clone(),
         Some(point.schedule()),
-    )
+    );
+    entry.source = "faults".to_string();
+    (record, entry)
 }
 
 /// Runs the *failure-free twin* of a degradation scenario (same
@@ -317,11 +458,17 @@ pub fn measure_fault_clean(point: &FaultPoint) -> BenchRecord {
         point.algorithm.clone(),
         None,
     )
+    .0
 }
 
 /// Measures every registered degradation scenario.
 pub fn fault_bench_records() -> Vec<BenchRecord> {
     fault_points().iter().map(measure_fault_point).collect()
+}
+
+/// [`fault_bench_records`] plus each scenario's experiment-ledger entry.
+pub fn fault_bench_records_full() -> Vec<(BenchRecord, LedgerEntry)> {
+    fault_points().iter().map(measure_fault_point_full).collect()
 }
 
 /// One autotuner gate point: a Fig. 4–8 topology re-run under the
@@ -364,6 +511,12 @@ pub fn tune_points() -> Vec<TunePoint> {
 /// three fixed shapes on this topology (ties allowed — the search table
 /// lists fixed shapes first precisely so a tie resolves to one of them).
 pub fn measure_tune_point(point: &TunePoint) -> BenchRecord {
+    measure_tune_point_full(point).0
+}
+
+/// [`measure_tune_point`] plus the run's experiment-ledger entry
+/// (source `"tune"`).
+pub fn measure_tune_point_full(point: &TunePoint) -> (BenchRecord, LedgerEntry) {
     let rt = grid_runtime(point.sites);
     let rate = Some(calib::kernel_rate_flops(point.n));
     let combine = Some(calib::combine_rate_flops());
@@ -380,7 +533,7 @@ pub fn measure_tune_point(point: &TunePoint) -> BenchRecord {
             fixed.secs()
         );
     }
-    measure_on(
+    let (record, mut entry) = measure_on(
         &format!("tune/{}", point.figure),
         point.sites,
         point.m,
@@ -390,12 +543,19 @@ pub fn measure_tune_point(point: &TunePoint) -> BenchRecord {
             domains_per_cluster: point.domains_per_cluster,
         },
         None,
-    )
+    );
+    entry.source = "tune".to_string();
+    (record, entry)
 }
 
 /// Measures every autotuner gate point.
 pub fn tune_bench_records() -> Vec<BenchRecord> {
     tune_points().iter().map(measure_tune_point).collect()
+}
+
+/// [`tune_bench_records`] plus each point's experiment-ledger entry.
+pub fn tune_bench_records_full() -> Vec<(BenchRecord, LedgerEntry)> {
+    tune_points().iter().map(measure_tune_point_full).collect()
 }
 
 /// Serializes records as the `BENCH_results.json` document (schema

@@ -176,9 +176,13 @@ pub fn dump_traced_point(
 ///   produces its ScaLAPACK companion trace next to the TSQR one);
 /// * when `GRID_TSQR_BENCH_OUT=<dir>` is set, measures every point and
 ///   writes the records as `<dir>/BENCH_<figure>.json` (the same schema
-///   `bench_check` compares against the committed baseline).
+///   `bench_check` compares against the committed baseline);
+/// * when `GRID_TSQR_LEDGER=<file>` is set, appends one experiment-ledger
+///   entry per point to that JSONL file (schema
+///   [`tsqr_obs::ledger::LEDGER_SCHEMA`]) so `grid-tsqr report` can trend
+///   the figure over time.
 ///
-/// Doing both through one registry keeps the traced configuration and
+/// Doing all three through one registry keeps the traced configuration and
 /// the perf-gated configuration byte-for-byte identical.
 pub fn run_figure(figure: &str) {
     let points = crate::figures::figure_points(figure);
@@ -193,13 +197,27 @@ pub fn run_figure(figure: &str) {
                 .expect("write trace");
         }
     }
-    if let Ok(dir) = std::env::var("GRID_TSQR_BENCH_OUT") {
-        let records: Vec<_> =
-            points.iter().map(crate::figures::measure_point).collect();
+    let bench_out = std::env::var("GRID_TSQR_BENCH_OUT").ok();
+    let ledger = tsqr_obs::ledger::path_from_env();
+    if bench_out.is_none() && ledger.is_none() {
+        return;
+    }
+    let measured: Vec<_> =
+        points.iter().map(crate::figures::measure_point_full).collect();
+    if let Some(dir) = bench_out {
+        let records: Vec<_> = measured.iter().map(|(r, _)| r.clone()).collect();
         let out = std::path::Path::new(&dir).join(format!("BENCH_{figure}.json"));
         std::fs::write(&out, crate::figures::records_json(&records))
             .expect("write bench records");
         println!("# bench records -> {}", out.display());
+    }
+    if let Some(path) = ledger {
+        let n = measured.len();
+        for (_, entry) in measured {
+            tsqr_obs::ledger::append_entry(&path, entry)
+                .expect("append experiment-ledger entry");
+        }
+        println!("# ledger: {n} entries -> {}", path.display());
     }
 }
 

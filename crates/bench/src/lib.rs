@@ -38,15 +38,19 @@
 //! paper's measured constants); see `calib` for the one fitted constant
 //! (the domain-kernel efficiency curve η(N)).
 
+#![warn(missing_docs)]
+
 pub mod calib;
 pub mod figures;
 pub mod harness;
 pub mod json;
 
 pub use figures::{
-    all_figures, bench_records, compare_records, fault_bench_records, fault_points,
-    figure_points, measure_fault_clean, measure_fault_point, measure_point,
-    parse_records, records_json, BenchRecord, FaultPoint, FigurePoint,
+    all_figures, bench_records, bench_records_full, compare_records, fault_bench_records,
+    fault_bench_records_full, fault_points, figure_points, ledger_entry,
+    measure_fault_clean, measure_fault_point, measure_fault_point_full, measure_point,
+    measure_point_full, measure_tune_point_full, parse_records, records_json,
+    tune_bench_records_full, BenchRecord, FaultPoint, FigurePoint,
 };
 pub use harness::{
     domain_options, dump_traced_point, grid_runtime, paper_m_values, print_series_table,

@@ -1,0 +1,70 @@
+//! Golden-file test of the folded-stack (flamegraph) exporter: a fixed,
+//! down-scaled Fig. 4 scenario must serialize byte-identically to the
+//! committed golden (`tests/golden/folded_fig4.txt`).
+//!
+//! The golden pins the whole profile surface documented in
+//! `docs/observability.md` §9 — the `rank{r};phase;leaf nanos` collapsed
+//! format (inferno / speedscope compatible), the rank-free aggregate, and
+//! the top-K hot-phase table. To regenerate after an intentional format
+//! change, run with `BLESS=1`:
+//!
+//! ```text
+//! BLESS=1 cargo test -p tsqr-bench --test folded_golden
+//! ```
+
+use tsqr_bench::{calib, grid_runtime};
+use tsqr_core::experiment::{run_experiment, Algorithm, Experiment, Mode};
+use tsqr_gridmpi::FoldedProfile;
+
+/// The Fig. 4 configuration (ScaLAPACK QR2, one site) at a row count
+/// small enough for a test, traced.
+fn fig4_profile() -> FoldedProfile {
+    let mut rt = grid_runtime(1);
+    rt.enable_tracing();
+    let res = run_experiment(
+        &rt,
+        &Experiment {
+            m: 65_536,
+            n: 32,
+            algorithm: Algorithm::ScalapackQr2,
+            compute_q: false,
+            mode: Mode::Symbolic,
+            rate_flops: Some(calib::kernel_rate_flops(32)),
+            combine_rate_flops: None,
+        },
+    );
+    let trace = res.trace.as_ref().expect("tracing was enabled");
+    FoldedProfile::from_trace(trace, rt.topology().num_procs())
+}
+
+#[test]
+fn folded_export_matches_golden_file() {
+    let profile = fig4_profile();
+    let mut doc = profile.render_folded();
+    doc.push_str("# aggregate\n");
+    doc.push_str(&profile.render_aggregate());
+    doc.push_str("# hot phases\n");
+    doc.push_str(&profile.render_hot_table(10));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/folded_fig4.txt");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(path, &doc).expect("writing golden file");
+    }
+    let golden = std::fs::read_to_string(path).expect("golden file exists (BLESS=1 to create)");
+    assert_eq!(
+        doc, golden,
+        "folded-stack output drifted from tests/golden/folded_fig4.txt; \
+         if the format change is intentional, regenerate with BLESS=1 and \
+         update docs/observability.md"
+    );
+}
+
+#[test]
+fn golden_profile_tiles_every_rank() {
+    let profile = fig4_profile();
+    assert!(profile.max_tiling_error_rel() <= 1e-9);
+    // The aggregate conserves time: its leaves sum to the sum of the
+    // per-rank makespans.
+    let total: f64 = (0..profile.num_ranks()).map(|r| profile.rank_total(r)).sum();
+    let makespans: f64 = (0..profile.num_ranks()).map(|r| profile.rank_makespan(r)).sum();
+    assert!((total - makespans).abs() <= 1e-9 * makespans.max(1.0));
+}

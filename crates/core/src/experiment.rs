@@ -106,6 +106,13 @@ impl ExperimentResult {
         }
         out
     }
+    /// Least-squares Eq. (1) fit over this result's per-(rank, phase)
+    /// samples (see [`crate::modelfit`]); `None` when the run recorded
+    /// no active time at all.
+    pub fn fitted_model(&self) -> Option<crate::modelfit::ModelFit> {
+        crate::modelfit::fit(&crate::modelfit::samples_from_metrics(&self.metrics))
+    }
+
     /// The largest per-rank flop count — the compute term of the critical
     /// path (for TSQR this is the tree root: leaf + `log₂(P)` combines).
     pub fn max_flops_per_rank(&self) -> u64 {

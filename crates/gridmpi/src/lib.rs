@@ -35,6 +35,9 @@
 //! * **Tracing** ([`trace`]) — opt-in ([`Runtime::enable_tracing`])
 //!   per-event records with virtual-time spans, exportable as
 //!   Chrome-trace/Perfetto JSON ([`chrome`]).
+//! * **Profiler** ([`profile`]) — folded-stack (flamegraph) export of a
+//!   trace, with an exact per-rank tiling invariant: leaf self-times sum
+//!   to the rank's makespan.
 //! * **Critical path** ([`critical`]) — the longest chain through the
 //!   traced happens-before DAG; its total equals the makespan by
 //!   construction, which every traced bench run asserts.
@@ -55,6 +58,7 @@ pub mod hb;
 pub mod message;
 pub mod metrics;
 pub mod process;
+pub mod profile;
 pub mod runtime;
 pub mod trace;
 
@@ -71,5 +75,6 @@ pub use process::{
     DeliveryOrder, Process, RankStats, TrafficCounters, DEFAULT_RECV_TIMEOUT,
     DETECTION_LATENCY_FACTOR, MAX_SEND_ATTEMPTS,
 };
+pub use profile::FoldedProfile;
 pub use runtime::{RankResult, RunOutcome, RunReport, Runtime};
 pub use trace::{Event, EventKind, FaultKind, MessageMatch, Trace};

@@ -22,6 +22,8 @@
 //! linkcheck [--root <dir>] [files...]
 //! ```
 
+#![warn(missing_docs)]
+
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;

@@ -29,6 +29,8 @@
 //! with no external dependencies, so the lint is a line-level token
 //! scanner. It is conservative where it must guess.
 
+#![warn(missing_docs)]
+
 use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};

@@ -10,11 +10,17 @@
 #
 # Env:
 #   GRID_TSQR_BENCH_RTOL   relative tolerance for times (default 1e-9)
+#   GRID_TSQR_LEDGER       experiment-ledger JSONL every measured point is
+#                          appended to (default ledger/runs.jsonl; set to
+#                          the empty string to disable)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BASELINE=BENCH_baseline.json
 RESULTS=BENCH_results.json
+# Every gate run also extends the cross-run experiment ledger behind
+# `grid-tsqr report` (docs/observability.md section 9).
+export GRID_TSQR_LEDGER="${GRID_TSQR_LEDGER-ledger/runs.jsonl}"
 
 if [[ "${1:-}" == "--bless" ]]; then
   exec cargo run --release -q -p tsqr-bench --bin bench_check -- \

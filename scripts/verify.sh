@@ -52,4 +52,9 @@ $FAULTS --crash 0@2 --crash 1@4 --baseline >/dev/null
 $FAULTS --drop-prob 64:0:0.4 --wan-slow 0:50:4:4 --fault-seed 7 >/dev/null
 echo "    fault smoke: all scenarios recovered bitwise"
 
+echo "==> report gate (experiment-ledger dashboard pinned against"
+echo "    REPORT_baseline.md; --check flags anomalous model residuals)"
+./target/release/grid-tsqr report --ledger ledger/runs.jsonl \
+  --golden REPORT_baseline.md --check
+
 echo "verify: all green"

@@ -9,7 +9,7 @@
 //! grid-tsqr compare   --m 1048576 --n 64  [--sites 4]
 //! grid-tsqr tune      --m 1048576 --n 64  [--sites 4] [--domains 64]
 //! grid-tsqr trace     --m 1048576 --n 64  [--sites 4] [--algo tsqr|scalapack]
-//!                     [--out trace.json] [--timeline]
+//!                     [--out trace.json] [--folded-out profile.folded] [--timeline]
 //! grid-tsqr analyze   --m 1048576 --n 64  [--sites 4] [--algo tsqr|scalapack]
 //!                     [--bins 64]
 //! grid-tsqr faults    --m 262144 --n 64   [--sites 4] [--crash R@MS ...]
@@ -18,6 +18,8 @@
 //!                     [--baseline]
 //! grid-tsqr check     [--m 65536 --n 32] [--sites 4] [--no-matrix]
 //!                     [--no-explore] [--golden COMMCHECK_baseline.txt] [--bless]
+//! grid-tsqr report    [--ledger ledger/runs.jsonl] [--threshold 0.05] [--top 10]
+//!                     [--check] [--golden REPORT_baseline.md] [--bless] [--out report.md]
 //! ```
 //!
 //! `tune` runs the model-driven reduction-tree autotuner
@@ -32,8 +34,19 @@
 //!
 //! `trace` runs one point with event tracing enabled and prints the
 //! critical path plus the per-phase Eq. (1) ledger; `--out` additionally
-//! writes Chrome-trace JSON loadable in <https://ui.perfetto.dev>. The
-//! schema is documented in `docs/observability.md`.
+//! writes Chrome-trace JSON loadable in <https://ui.perfetto.dev>, and
+//! `--folded-out` writes collapsed folded stacks (per rank, plus an
+//! `.agg` aggregate) for `inferno` / speedscope flame graphs, checking
+//! the virtual-time tiling invariant first. The schemas are documented
+//! in `docs/observability.md`.
+//!
+//! `report` renders the cross-run trend/anomaly dashboard from the
+//! append-only experiment ledger (`ledger/runs.jsonl`, written by the
+//! bench gate and the `tune`/`faults` subcommands whenever
+//! `GRID_TSQR_LEDGER` is set). `--check` exits nonzero when any entry's
+//! per-phase Eq. (1) residual exceeds its scenario reference by more
+//! than the threshold; `--golden` byte-compares the report rendered over
+//! the baseline's pinned entry prefix. See `docs/observability.md` §9.
 //!
 //! `faults` runs the **self-healing** TSQR (`tsqr_core::ft_tsqr`) with
 //! real numerics under an injected failure schedule — rank crashes at
@@ -73,13 +86,15 @@ use grid_tsqr::core::tree::{ReductionTree, TreeShape};
 use grid_tsqr::core::tsqr::{tsqr_rank_program, TsqrConfig};
 use grid_tsqr::core::tune;
 use grid_tsqr::core::workload;
-use grid_tsqr::gridmpi::{explore, fnv1a, schedules_for, HbReport, Runtime};
+use grid_tsqr::gridmpi::{explore, fnv1a, schedules_for, FoldedProfile, HbReport, Runtime};
 use grid_tsqr::linalg::prelude::QrFactors;
 use grid_tsqr::linalg::verify::r_distance;
 use grid_tsqr::netsim::{
     ClusterSpec, CostModel, FailureSchedule, GridTopology, LinkParams, VirtualTime,
 };
-use tsqr_bench::{calib, grid_runtime};
+use grid_tsqr::obs::ledger::{append_entry, path_from_env, read_ledger};
+use grid_tsqr::obs::report::{detect_anomalies, render_report, ReportOptions};
+use tsqr_bench::{calib, grid_runtime, ledger_entry};
 
 struct Args {
     flags: Vec<(String, Option<String>)>,
@@ -130,6 +145,39 @@ impl Args {
     }
 }
 
+/// Extracts `K` from the `- entries: K` header line of a blessed report.
+///
+/// The report golden is **prefix-pinned**: the baseline records how many
+/// ledger entries it was rendered over, and the gate re-renders the report
+/// over exactly that prefix. Appending new runs to the ledger therefore
+/// never invalidates the golden — only a change to how existing entries
+/// are rendered does.
+fn golden_entry_count(report: &str) -> Option<usize> {
+    report
+        .lines()
+        .find_map(|l| l.strip_prefix("- entries: "))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// Renders a line-by-line diff in the same `baseline:/current:` style the
+/// commcheck gate uses.
+fn line_diff(want: &str, got: &str) -> String {
+    let want_lines: Vec<&str> = want.lines().collect();
+    let got_lines: Vec<&str> = got.lines().collect();
+    let mut diff = String::new();
+    for i in 0..want_lines.len().max(got_lines.len()) {
+        let w = want_lines.get(i).copied().unwrap_or("<missing>");
+        let g = got_lines.get(i).copied().unwrap_or("<missing>");
+        if w != g {
+            diff.push_str(&format!(
+                "  line {}:\n    baseline: {w}\n    current:  {g}\n",
+                i + 1
+            ));
+        }
+    }
+    diff
+}
+
 /// Parses a `--tree` value: the three fixed shapes plus the generated
 /// families the autotuner searches over (`kary:<k>`, `binomial`,
 /// `greedy`; `kary:1` is a chain).
@@ -167,7 +215,7 @@ fn usage() -> ExitCode {
          \x20 grid-tsqr tune      --m <rows> --n <cols> [--sites 1..4] [--domains <d/cluster>]\n\
          \x20 grid-tsqr trace     --m <rows> --n <cols> [--sites 1..4] [--algo tsqr|scalapack]\n\
          \x20                     [--domains <d>] [--tree <shape>] [--real]\n\
-         \x20                     [--out <file.json>] [--timeline]\n\
+         \x20                     [--out <file.json>] [--folded-out <file>] [--timeline]\n\
          \x20 grid-tsqr analyze   --m <rows> --n <cols> [--sites 1..4] [--algo tsqr|scalapack]\n\
          \x20                     [--domains <d>] [--tree <shape>] [--bins <timeline bins>]\n\
          \x20 grid-tsqr faults    --m <rows> --n <cols> [--sites 1..4] [--fault-seed <u64>]\n\
@@ -176,6 +224,8 @@ fn usage() -> ExitCode {
          \x20                     [--baseline]\n\
          \x20 grid-tsqr check     [--m <rows> --n <cols>] [--sites 1..4] [--no-matrix]\n\
          \x20                     [--no-explore] [--golden <baseline.txt>] [--bless]\n\
+         \x20 grid-tsqr report    [--ledger <runs.jsonl>] [--threshold <frac>] [--top <k>]\n\
+         \x20                     [--check] [--golden <baseline.md>] [--bless] [--out <file.md>]\n\
          \n\
          Tree shapes: flat | binary | grid | kary:<k> | binomial | greedy\n\
          (kary:1 is a chain; see docs/tuning.md for the closed forms).\n\
@@ -198,7 +248,11 @@ fn usage() -> ExitCode {
          happens-before analyzer (races, deadlock cycles, clock violations)\n\
          and the DPOR-lite schedule explorer (8-rank determinism proof);\n\
          --golden compares one structural line per scenario against the\n\
-         blessed baseline, --bless regenerates it. See docs/static-analysis.md.\n"
+         blessed baseline, --bless regenerates it. See docs/static-analysis.md.\n\
+         report renders the trend/anomaly dashboard over the experiment\n\
+         ledger (append with GRID_TSQR_LEDGER=<file>); --check exits nonzero\n\
+         on per-phase model residuals exceeding the scenario reference by\n\
+         more than --threshold. See docs/observability.md #9.\n"
     );
     ExitCode::from(2)
 }
@@ -223,6 +277,96 @@ fn run() -> Result<String, String> {
             "experiment platform: 32 nodes x 2 procs per site; DGEMM {} Gflop/s/proc\n",
             grid_tsqr::netsim::grid5000::DGEMM_GFLOPS
         ));
+        return Ok(out);
+    }
+
+    if cmd == "report" {
+        // Trend/anomaly dashboard over the cross-run experiment ledger
+        // (docs/observability.md §9). Pure post-processing: no simulation
+        // runs, so it stays fast enough for CI.
+        let ledger_path = args.get("ledger").unwrap_or("ledger/runs.jsonl");
+        let threshold: f64 = args.num("threshold", 0.05f64)?;
+        if !threshold.is_finite() || threshold < 0.0 {
+            return Err("--threshold must be a non-negative fraction (e.g. 0.05)".into());
+        }
+        let top: usize = args.num("top", 10usize)?;
+        let opts = ReportOptions { threshold, top_phases: top };
+        let entries = read_ledger(std::path::Path::new(ledger_path))?;
+        if entries.is_empty() {
+            return Err(format!(
+                "{ledger_path}: no entries — seed the ledger with \
+                 `GRID_TSQR_LEDGER={ledger_path} scripts/bench_check.sh`"
+            ));
+        }
+        let rendered = render_report(&entries, &opts);
+        let mut out = String::new();
+        if let Some(path) = args.get("out") {
+            std::fs::write(path, &rendered)
+                .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+            out.push_str(&format!(
+                "report over {} entries written to {path}\n",
+                entries.len()
+            ));
+        } else if !args.has("check") && args.get("golden").is_none() && !args.has("bless") {
+            // Plain `grid-tsqr report` prints the dashboard itself; the
+            // gating modes print one status line each instead.
+            out.push_str(&rendered);
+        }
+        if args.has("bless") {
+            let path = args.get("golden").unwrap_or("REPORT_baseline.md");
+            std::fs::write(path, &rendered)
+                .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+            out.push_str(&format!(
+                "blessed report over {} ledger entries into {path}\n",
+                entries.len()
+            ));
+        } else if let Some(path) = args.get("golden") {
+            let want = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path:?}: {e}"))?;
+            let k = golden_entry_count(&want).ok_or_else(|| {
+                format!("{path}: not a blessed report (missing `- entries: <K>` header)")
+            })?;
+            if k > entries.len() {
+                return Err(format!(
+                    "{path} pins the first {k} entries but {ledger_path} holds only {} \
+                     — the ledger is append-only and must not shrink",
+                    entries.len()
+                ));
+            }
+            let pinned = render_report(&entries[..k], &opts);
+            if want != pinned {
+                return Err(format!(
+                    "report differs from {path} over the first {k} ledger entries \
+                     (re-bless with `grid-tsqr report --bless` if intended):\n{}",
+                    line_diff(&want, &pinned)
+                ));
+            }
+            out.push_str(&format!(
+                "report matches {path} (rendered over the first {k} of {} entries)\n",
+                entries.len()
+            ));
+        }
+        if args.has("check") {
+            let anomalies = detect_anomalies(&entries, &opts);
+            if !anomalies.is_empty() {
+                let mut msg = format!(
+                    "report --check: {} anomalous per-phase model residual(s) \
+                     (> {:.2}% over the scenario reference):\n",
+                    anomalies.len(),
+                    threshold * 100.0
+                );
+                for a in &anomalies {
+                    msg.push_str(&format!("  - {}\n", a.describe()));
+                }
+                return Err(msg);
+            }
+            out.push_str(&format!(
+                "report check OK: {} entries, every per-phase residual within {:.2}% \
+                 of its scenario reference\n",
+                entries.len(),
+                threshold * 100.0
+            ));
+        }
         return Ok(out);
     }
 
@@ -463,6 +607,27 @@ fn run() -> Result<String, String> {
                     "\nChrome trace written to {path} (load in ui.perfetto.dev or chrome://tracing)\n"
                 ));
             }
+            if let Some(path) = args.get("folded-out") {
+                let profile = FoldedProfile::from_trace(trace, rt.topology().num_procs());
+                let tile_err = profile.max_tiling_error_rel();
+                if tile_err > 1e-9 {
+                    return Err(format!(
+                        "folded profile does not tile the per-rank timelines \
+                         (max rel err {tile_err:.3e}, tol 1e-9)"
+                    ));
+                }
+                std::fs::write(path, profile.render_folded())
+                    .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+                let agg_path = format!("{path}.agg");
+                std::fs::write(&agg_path, profile.render_aggregate())
+                    .map_err(|e| format!("cannot write {agg_path:?}: {e}"))?;
+                out.push_str(&format!(
+                    "\nfolded stacks written to {path} (per rank) and {agg_path} (aggregate); \
+                     leaf self-times tile every rank's makespan (max rel err {tile_err:.2e})\n",
+                ));
+                out.push('\n');
+                out.push_str(&profile.render_hot_table(10));
+            }
             Ok(out)
         }
         "faults" => {
@@ -548,14 +713,24 @@ fn run() -> Result<String, String> {
             );
 
             // Self-healing run under the schedule.
+            let ledger = path_from_env();
             let mut frt = grid_runtime(sites);
             if let Some(secs) = recv_timeout {
                 frt.set_recv_timeout(std::time::Duration::from_secs_f64(secs));
             }
+            if ledger.is_some() {
+                // The ledger entry wants the critical-path split, which
+                // needs the event trace.
+                frt.enable_tracing();
+            }
             frt.set_failure_schedule(schedule.clone());
-            let report =
+            let mut report =
                 frt.run(|p, _| ft_tsqr_rank_program(p, &layout, &tree, &cfg, seed, rate));
             let makespan = report.makespan;
+            // `outcome()` consumes the report, so lift the observability
+            // payloads the ledger entry needs out of it first.
+            let run_metrics = std::mem::take(&mut report.metrics);
+            let run_trace = report.trace.take();
             let outcome = report.outcome();
             let mut holder: Option<(usize, grid_tsqr::core::ft_tsqr::FtTsqrOutput)> = None;
             let (mut rebuilt, mut salvaged) = (0usize, 0usize);
@@ -610,6 +785,31 @@ fn run() -> Result<String, String> {
                             .unwrap_or_default(),
                     ));
                 }
+            }
+
+            // Record the self-healing run in the experiment ledger.
+            if let Some(path) = &ledger {
+                let gflops = grid_tsqr::core::model::useful_flops(m, n as u64, false)
+                    / makespan.secs().max(1e-12)
+                    / 1e9;
+                let entry = ledger_entry(
+                    "faults",
+                    &format!("cli/faults/s{sites}-m{m}-n{n}"),
+                    sites,
+                    frt.topology().num_procs(),
+                    m,
+                    n,
+                    &format!("ft-GridHierarchical/dpc{dpc}"),
+                    makespan.secs(),
+                    gflops,
+                    &run_metrics,
+                    run_trace.as_ref(),
+                );
+                let seq = append_entry(path, entry)?;
+                out.push_str(&format!(
+                    "ledger: entry {seq} appended to {}\n",
+                    path.display()
+                ));
             }
             Ok(out)
         }
@@ -666,6 +866,51 @@ fn run() -> Result<String, String> {
                     "vs fixed {name:<7} {:>10.6} s  (tuned is {:.3}x)\n",
                     fixed.secs(),
                     fixed.secs() / outcome.replayed.secs()
+                ));
+            }
+
+            // Record the winner in the experiment ledger: re-run it traced
+            // so the entry carries the critical-path split and per-phase
+            // Eq. (1) residuals like every other ledger source.
+            if let Some(path) = path_from_env() {
+                let mut trt = grid_runtime(sites);
+                if let Some(secs) = recv_timeout {
+                    trt.set_recv_timeout(std::time::Duration::from_secs_f64(secs));
+                }
+                trt.enable_tracing();
+                let res = run_experiment(
+                    &trt,
+                    &Experiment {
+                        m,
+                        n,
+                        algorithm: Algorithm::Tsqr {
+                            shape: best.shape.clone(),
+                            domains_per_cluster: domains,
+                        },
+                        compute_q: false,
+                        mode: Mode::Symbolic,
+                        rate_flops: rate,
+                        combine_rate_flops: combine,
+                    },
+                );
+                let entry = ledger_entry(
+                    "tune",
+                    &format!("cli/tune/s{sites}-m{m}-n{n}"),
+                    sites,
+                    trt.topology().num_procs(),
+                    m,
+                    n,
+                    &format!("{:?}/dpc{domains}", best.shape),
+                    res.makespan.secs(),
+                    res.gflops,
+                    &res.metrics,
+                    res.trace.as_ref(),
+                );
+                let seq = append_entry(&path, entry)?;
+                out.push_str(&format!(
+                    "ledger: entry {seq} (winner {}) appended to {}\n",
+                    best.name,
+                    path.display()
                 ));
             }
             Ok(out)

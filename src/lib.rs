@@ -16,9 +16,12 @@
 //!   the meta-scheduler (the QCG-OMPI/QosCosGrid analogue).
 //! * [`core`] — the paper's contribution: TSQR over tuned reduction trees,
 //!   the ScaLAPACK-style baseline, CAQR, and the performance model.
+//! * [`obs`] — cross-run observability: the append-only experiment ledger
+//!   and the trend/anomaly report behind `grid-tsqr report`.
 
 pub use tsqr_core as core;
 pub use tsqr_gridmpi as gridmpi;
 pub use tsqr_linalg as linalg;
 pub use tsqr_netsim as netsim;
+pub use tsqr_obs as obs;
 pub use tsqr_qcg as qcg;
