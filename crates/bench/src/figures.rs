@@ -28,6 +28,10 @@ use tsqr_core::tune;
 use tsqr_gridmpi::{FoldedProfile, MetricsRegistry, Trace};
 use tsqr_netsim::{FailureSchedule, VirtualTime};
 use tsqr_obs::ledger::{EnvFingerprint, LedgerEntry, ModelCoeffs, PhaseRow};
+use tsqr_qcg::ResourceCatalog;
+use tsqr_serve::{
+    serve as run_serve, Policy as ServePolicy, PolicyReport as ServeReport, ServeConfig,
+};
 
 use crate::calib;
 use crate::harness::grid_runtime;
@@ -556,6 +560,192 @@ pub fn tune_bench_records() -> Vec<BenchRecord> {
 /// [`tune_bench_records`] plus each point's experiment-ledger entry.
 pub fn tune_bench_records_full() -> Vec<(BenchRecord, LedgerEntry)> {
     tune_points().iter().map(measure_tune_point_full).collect()
+}
+
+/// One serving-layer gate point: a full `tsqr-serve` trace at a fixed
+/// `(policy, load, batch)` over the Grid'5000 catalog. The record id is
+/// `serve/<policy>@<load>` (`+batch` when batching is on).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServePoint {
+    /// Queue discipline.
+    pub policy: ServePolicy,
+    /// Offered load.
+    pub load: f64,
+    /// Whether same-shape batching is on.
+    pub batch: bool,
+    /// Requests in the trace.
+    pub requests: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Pins every request to one menu shape (the batching burst).
+    pub single_shape: Option<usize>,
+}
+
+impl ServePoint {
+    /// Stable identifier used in `BENCH_results.json`.
+    pub fn id(&self) -> String {
+        format!(
+            "serve/{}@{:.1}{}",
+            self.policy.label(),
+            self.load,
+            if self.batch { "+batch" } else { "" }
+        )
+    }
+
+    fn config(&self) -> ServeConfig {
+        ServeConfig {
+            policy: self.policy,
+            load: self.load,
+            requests: self.requests,
+            seed: self.seed,
+            batch: self.batch,
+            single_shape: self.single_shape,
+            ..Default::default()
+        }
+    }
+}
+
+/// The serving gate points: the ISSUE's 200-request seeded trace at high
+/// load under every policy, plus the same-shape burst with and without
+/// batching. The high-load point is where the disciplines separate; the
+/// burst pair is where batching's WAN-message claim is measurable.
+pub fn serve_points() -> Vec<ServePoint> {
+    let hi = |policy| ServePoint {
+        policy,
+        load: 2.5,
+        batch: false,
+        requests: 200,
+        seed: 42,
+        single_shape: None,
+    };
+    let burst = |batch| ServePoint {
+        policy: ServePolicy::Fifo,
+        load: 4.0,
+        batch,
+        requests: 60,
+        seed: 42,
+        single_shape: Some(3),
+    };
+    vec![
+        hi(ServePolicy::Fifo),
+        hi(ServePolicy::Sjf),
+        hi(ServePolicy::Edf),
+        hi(ServePolicy::Fair),
+        burst(false),
+        burst(true),
+    ]
+}
+
+/// Measures one serving point. The [`BenchRecord`] reuses the
+/// critical-path columns for queueing statistics (documented in
+/// `docs/serving.md` §Ledger): `cp_compute_s` = mean sojourn, `cp_send_s`
+/// = p99 sojourn, `cp_wan_msgs` = SLO misses, `wait_s` = total queue
+/// wait. `model_residual` is 0 — serving runs have no Eq. (1) fit.
+pub fn measure_serve_point_full(point: &ServePoint) -> (BenchRecord, LedgerEntry) {
+    let catalog = ResourceCatalog::grid5000();
+    let outcome = run_serve(&catalog, &point.config());
+    let report = ServeReport::from_outcome(&outcome);
+    let total_rows: u64 = outcome.records.iter().map(|r| r.request.rows).sum();
+    let record = BenchRecord {
+        id: point.id(),
+        sites: catalog.clusters.len(),
+        m: total_rows,
+        n: 64,
+        makespan_s: report.horizon_s,
+        gflops: report.gflops,
+        msgs: report.msgs,
+        wan_msgs: report.wan_msgs,
+        bytes: report.bytes,
+        cp_compute_s: report.mean_sojourn_s,
+        cp_send_s: report.p99_sojourn_s,
+        cp_wan_msgs: report.slo_miss as u64,
+        wait_s: report.total_wait_s,
+        model_residual: 0.0,
+    };
+    let entry = LedgerEntry {
+        seq: 0,
+        source: "serve".into(),
+        scenario: format!("bench/{}", point.id()),
+        sites: catalog.clusters.len(),
+        procs: catalog.total_procs(),
+        m: total_rows as usize,
+        n: 64,
+        tree: format!("serve/{}", point.policy.label()),
+        makespan_s: report.horizon_s,
+        gflops: report.gflops,
+        msgs: report.msgs,
+        wan_msgs: report.wan_msgs,
+        bytes: report.bytes,
+        cp_compute_s: report.mean_sojourn_s,
+        cp_send_s: report.p99_sojourn_s,
+        cp_wan_msgs: report.slo_miss as u64,
+        wait_s: report.total_wait_s,
+        phases: Vec::new(),
+        fit: ModelCoeffs {
+            beta_s: 0.0,
+            alpha_s_per_word: 0.0,
+            gamma_s_per_flop: 0.0,
+            rel_residual: 0.0,
+        },
+        env: EnvFingerprint::current(),
+    };
+    (record, entry)
+}
+
+/// Measures every serving gate point and asserts the serving layer's
+/// headline claims on the freshly measured records:
+///
+/// * FIFO and SJF genuinely differ on the same seeded high-load trace
+///   (p99 sojourn or throughput — a scheduler that cannot change the
+///   outcome is not scheduling);
+/// * SJF's mean sojourn is no worse than FIFO's at high load (the
+///   textbook shortest-job-first claim, held as data);
+/// * batching strictly reduces WAN messages on the same-shape burst;
+/// * a same-seed re-run reproduces the records byte-identically.
+pub fn serve_bench_records_full() -> Vec<(BenchRecord, LedgerEntry)> {
+    let points = serve_points();
+    let all: Vec<(BenchRecord, LedgerEntry)> =
+        points.iter().map(measure_serve_point_full).collect();
+    let by_id = |id: &str| -> &BenchRecord {
+        &all.iter().find(|(r, _)| r.id == id).expect("gate point measured").0
+    };
+    let fifo = by_id("serve/fifo@2.5");
+    let sjf = by_id("serve/sjf@2.5");
+    assert!(
+        fifo.cp_send_s != sjf.cp_send_s || fifo.gflops != sjf.gflops,
+        "fifo and sjf must differ on the same trace (p99 {} vs {})",
+        fifo.cp_send_s,
+        sjf.cp_send_s
+    );
+    assert!(
+        sjf.cp_compute_s <= fifo.cp_compute_s,
+        "SJF mean sojourn {} must not exceed FIFO's {} at high load",
+        sjf.cp_compute_s,
+        fifo.cp_compute_s
+    );
+    let unbatched = by_id("serve/fifo@4.0");
+    let batched = by_id("serve/fifo@4.0+batch");
+    assert!(
+        batched.wan_msgs < unbatched.wan_msgs,
+        "batching must strictly cut WAN messages on a same-shape burst \
+         ({} vs {})",
+        batched.wan_msgs,
+        unbatched.wan_msgs
+    );
+    let replay: Vec<BenchRecord> =
+        points.iter().map(|p| measure_serve_point_full(p).0).collect();
+    let first: Vec<BenchRecord> = all.iter().map(|(r, _)| r.clone()).collect();
+    assert_eq!(
+        records_json(&first),
+        records_json(&replay),
+        "serve records must replay byte-identically"
+    );
+    all
+}
+
+/// Measures every serving gate point (records only).
+pub fn serve_bench_records() -> Vec<BenchRecord> {
+    serve_bench_records_full().into_iter().map(|(r, _)| r).collect()
 }
 
 /// Serializes records as the `BENCH_results.json` document (schema

@@ -9,19 +9,15 @@
 //! single-process verification run can rebuild the full matrix exactly.
 
 use tsqr_linalg::Matrix;
+use tsqr_netsim::rng::{hash64, unit_f64, GOLDEN_GAMMA};
 
 /// Entry `(i, j)` of the global test matrix with the given seed, uniform
 /// in `[-1, 1]`.
 pub fn entry(seed: u64, i: u64, j: u64) -> f64 {
-    // SplitMix64 over a mixed coordinate key.
-    let mut z = seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ j.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^= z >> 31;
-    // 53 uniform bits → [0, 1) → [-1, 1].
-    let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
-    2.0 * unit - 1.0
+    // Shared SplitMix64 hash over a mixed coordinate key; 53 uniform bits
+    // → [0, 1) → [-1, 1].
+    let key = seed ^ i.wrapping_mul(GOLDEN_GAMMA) ^ j.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    2.0 * unit_f64(hash64(key)) - 1.0
 }
 
 /// The `rows × n` block starting at global row `row0`.

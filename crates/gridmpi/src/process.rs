@@ -73,15 +73,6 @@ pub enum DeliveryOrder {
     Seeded(u64),
 }
 
-/// SplitMix64 — the tiny deterministic mixer behind
-/// [`DeliveryOrder::Seeded`].
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
-
 /// How a peer is known to have stopped (crate-internal bookkeeping fed
 /// by tombstone envelopes).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -719,7 +710,7 @@ impl Process {
                 .find(|&i| self.pending[i].src < env.src)
                 .unwrap_or(max_pos),
             DeliveryOrder::Seeded(seed) => {
-                let h = splitmix64(
+                let h = tsqr_netsim::rng::hash64(
                     seed ^ (self.rank as u64).rotate_left(32) ^ self.buffered,
                 );
                 min_pos + (h as usize) % (max_pos - min_pos + 1)

@@ -137,15 +137,6 @@ impl Default for FailureSchedule {
     }
 }
 
-/// SplitMix64 — the same tiny generator the deterministic workload uses;
-/// statistically solid for coin flips and trivially reproducible.
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
 impl FailureSchedule {
     /// An empty schedule with the given drop-coin seed.
     pub fn new(seed: u64) -> Self {
@@ -292,13 +283,11 @@ impl FailureSchedule {
         }
         self.drop_prob.iter().any(|d| {
             d.src == src && d.dst == dst && {
-                let h = splitmix64(
+                let h = crate::rng::hash64(
                     self.seed
-                        ^ splitmix64((src as u64) << 40 ^ (dst as u64) << 20 ^ nth),
+                        ^ crate::rng::hash64((src as u64) << 40 ^ (dst as u64) << 20 ^ nth),
                 );
-                // Map to [0, 1) with 53-bit precision.
-                let u = (h >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0);
-                u < d.prob
+                crate::rng::unit_f64(h) < d.prob
             }
         })
     }

@@ -25,11 +25,13 @@ pub mod desktop;
 pub mod fault;
 pub mod grid5000;
 pub mod occupancy;
+pub mod rng;
 pub mod time;
 pub mod topology;
 
 pub use cost::{CostModel, LinkClass, LinkParams};
 pub use fault::{Degradation, FailureSchedule};
-pub use occupancy::{CommMatrix, LinkUsage, UtilizationTimeline};
+pub use occupancy::{CommMatrix, LinkUsage, SharedLinks, UtilizationTimeline};
+pub use rng::SplitMix64;
 pub use time::VirtualTime;
 pub use topology::{ClusterSpec, GridTopology, ProcLocation};

@@ -25,6 +25,7 @@
 //! All three are deterministic and mergeable; the rendered forms are
 //! documented in `docs/observability.md` §8.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::cost::LinkClass;
@@ -223,6 +224,82 @@ impl UtilizationTimeline {
     }
 }
 
+/// Fluid-flow processor sharing over a set of physical links — the
+/// pricing hook a multi-job scheduler uses to make concurrent transfers
+/// genuinely slow each other down.
+///
+/// Each *flow* (one job's wide-area traffic) occupies a set of links,
+/// identified by an ordered site pair `(a, b)` with `a <= b`. A link
+/// serving `k` flows gives each of them `1/k` of its capacity, and a
+/// flow progresses at the rate of its **most contended** link — the
+/// max-of-bottlenecks convention matching the cost model's NIC
+/// serialization (a job's WAN sends already serialize at the receiving
+/// root, so its drain is a single queue throttled by the worst link).
+///
+/// The tracker is a plain deterministic accumulator: `join`/`leave`
+/// update per-link flow counts, [`SharedLinks::rate`] answers "at what
+/// fraction of solo speed does this flow drain *right now*". Event-loop
+/// integration (advancing remainders piecewise while counts are
+/// constant) is the caller's job; see `tsqr-serve`'s engine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SharedLinks {
+    flows: BTreeMap<(usize, usize), usize>,
+}
+
+impl SharedLinks {
+    /// Normalizes a site pair to the canonical `(min, max)` key.
+    pub fn key(a: usize, b: usize) -> (usize, usize) {
+        (a.min(b), a.max(b))
+    }
+
+    /// Registers one flow on every link in `links` (keys from
+    /// [`SharedLinks::key`]; duplicates in the slice count once — pass a
+    /// deduplicated set).
+    pub fn join(&mut self, links: &[(usize, usize)]) {
+        for &l in links {
+            *self.flows.entry(l).or_insert(0) += 1;
+        }
+    }
+
+    /// Removes one flow from every link in `links`.
+    ///
+    /// # Panics
+    /// Panics when a link has no registered flow — a join/leave
+    /// imbalance is a scheduler bug worth failing loudly on.
+    pub fn leave(&mut self, links: &[(usize, usize)]) {
+        for &l in links {
+            let n = self.flows.get_mut(&l).expect("leave without matching join");
+            *n -= 1;
+            if *n == 0 {
+                self.flows.remove(&l);
+            }
+        }
+    }
+
+    /// Flows currently sharing one link.
+    pub fn flows_on(&self, link: (usize, usize)) -> usize {
+        self.flows.get(&link).copied().unwrap_or(0)
+    }
+
+    /// Links with at least one registered flow, in canonical key order
+    /// (deterministic — the map is a `BTreeMap`).
+    pub fn active_links(&self) -> Vec<(usize, usize)> {
+        self.flows.keys().copied().collect()
+    }
+
+    /// The drain rate (fraction of solo capacity, in `(0, 1]`) of a flow
+    /// occupying `links`: `1 / max(flow count)` across them. A flow with
+    /// no links (a single-site job) drains at full rate.
+    pub fn rate(&self, links: &[(usize, usize)]) -> f64 {
+        let worst = links.iter().map(|l| self.flows_on(*l)).max().unwrap_or(0);
+        if worst <= 1 {
+            1.0
+        } else {
+            1.0 / worst as f64
+        }
+    }
+}
+
 /// A dense rank×rank communication matrix: messages and bytes per ordered
 /// `(src, dst)` pair.
 #[derive(Debug, Clone, PartialEq)]
@@ -395,6 +472,33 @@ mod tests {
         z.record(0, 0.0, 1.0);
         assert_eq!(z.busy_s(0, 0), 0.0);
         assert_eq!(z.fraction(0, 0), 0.0);
+    }
+
+    #[test]
+    fn shared_links_processor_sharing() {
+        let mut s = SharedLinks::default();
+        let a = vec![SharedLinks::key(1, 0), SharedLinks::key(0, 2)];
+        let b = vec![SharedLinks::key(0, 1)];
+        assert_eq!(a[0], (0, 1), "keys normalize to (min, max)");
+        assert_eq!(s.rate(&a), 1.0, "empty tracker: full rate");
+        s.join(&a);
+        assert_eq!(s.rate(&a), 1.0, "solo flow: full rate");
+        s.join(&b);
+        assert_eq!(s.flows_on((0, 1)), 2);
+        assert_eq!(s.rate(&a), 0.5, "bottlenecked by the shared (0,1) link");
+        assert_eq!(s.rate(&b), 0.5);
+        assert_eq!(s.rate(&[]), 1.0, "link-free flow is never throttled");
+        s.leave(&b);
+        assert_eq!(s.rate(&a), 1.0);
+        s.leave(&a);
+        assert_eq!(s, SharedLinks::default(), "fully drained tracker is empty");
+    }
+
+    #[test]
+    #[should_panic(expected = "leave without matching join")]
+    fn shared_links_unbalanced_leave_panics() {
+        let mut s = SharedLinks::default();
+        s.leave(&[(0, 1)]);
     }
 
     #[test]

@@ -104,16 +104,11 @@ impl GridTopology {
     /// "if process ranks are randomly distributed, the figure can be
     /// worse").
     pub fn shuffled(&self, seed: u64) -> Self {
-        // Fisher–Yates with a tiny split-mix generator so we do not pull a
-        // rand dependency into this crate.
-        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut next = move || {
-            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let mut z = state;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            z ^ (z >> 31)
-        };
+        // Fisher–Yates on the shared SplitMix64 stream; the seed is
+        // offset by one gamma to preserve the historical sequence from
+        // before the generator moved to `crate::rng`.
+        let mut rng = crate::rng::SplitMix64::new(seed.wrapping_add(crate::rng::GOLDEN_GAMMA));
+        let mut next = move || rng.next_u64();
         let mut placement = self.placement.clone();
         for i in (1..placement.len()).rev() {
             let j = (next() % (i as u64 + 1)) as usize;

@@ -28,4 +28,4 @@ pub mod scheduler;
 
 pub use catalog::ResourceCatalog;
 pub use profile::{JobProfile, NetworkRequirement};
-pub use scheduler::{allocate, Allocation, ScheduleError};
+pub use scheduler::{allocate, Allocation, ScheduleError, SlotPool};

@@ -89,6 +89,109 @@ impl Allocation {
     pub fn num_groups(&self) -> usize {
         self.cluster_of_group.len()
     }
+
+    /// Nodes booked on each group's host cluster (every group books the
+    /// same count: `procs_per_group / procs_per_node_used`).
+    pub fn nodes_per_group(&self) -> usize {
+        (self.group_of.len() / self.num_groups()) / self.procs_per_node_used
+    }
+
+    /// Returns this allocation's nodes to `pool`. Convenience alias for
+    /// [`SlotPool::release`], reading as "the lease releases itself".
+    pub fn release(&self, pool: &mut SlotPool) {
+        pool.release(self);
+    }
+}
+
+/// Node-level slot accounting over a [`ResourceCatalog`]: the mutable
+/// inventory a long-lived scheduler (e.g. the `tsqr-serve` engine) leases
+/// capacity from and returns it to.
+///
+/// [`allocate`] itself is stateless — it answers "could this profile run
+/// on this catalog?" and the paper's single-job experiments never needed
+/// more. A serving layer does: concurrent jobs must not double-book
+/// nodes, and finished jobs must hand their nodes back. `SlotPool` keeps
+/// a free-node counter per cluster, presents [`allocate`] with a *view*
+/// of the catalog shrunk to the free capacity (cluster indices are
+/// preserved, so `cluster_of_group` still indexes the real catalog), and
+/// books/returns whole nodes per allocate/release. Every release asserts
+/// the counter never exceeds the physical cluster size, which makes slot
+/// leaks loud instead of silent.
+#[derive(Debug, Clone)]
+pub struct SlotPool {
+    catalog: ResourceCatalog,
+    free_nodes: Vec<usize>,
+}
+
+impl SlotPool {
+    /// A pool with every node of `catalog` free.
+    pub fn new(catalog: ResourceCatalog) -> Self {
+        let free_nodes = catalog.clusters.iter().map(|c| c.nodes).collect();
+        SlotPool { catalog, free_nodes }
+    }
+
+    /// The underlying (full-capacity) catalog.
+    pub fn catalog(&self) -> &ResourceCatalog {
+        &self.catalog
+    }
+
+    /// Free nodes currently available on catalog cluster `c`.
+    pub fn free_nodes(&self, c: usize) -> usize {
+        self.free_nodes[c]
+    }
+
+    /// Total free nodes across all clusters.
+    pub fn total_free_nodes(&self) -> usize {
+        self.free_nodes.iter().sum()
+    }
+
+    /// True when every node of every cluster is free (no outstanding
+    /// leases — the leak-free invariant after a full drain).
+    pub fn is_idle(&self) -> bool {
+        self.free_nodes.iter().zip(&self.catalog.clusters).all(|(&f, c)| f == c.nodes)
+    }
+
+    /// Leases an allocation for `profile` out of the *free* capacity.
+    ///
+    /// The strategy is [`allocate`] run against a catalog view whose
+    /// cluster sizes are the current free-node counts, so placement
+    /// naturally prefers the emptiest clusters (contention-aware ranking
+    /// for free). A `NotEnoughProcs`/`NotEnoughClusters` error under a
+    /// partially-booked pool means "wait for a release", not "impossible
+    /// on this grid" — callers distinguish the two by retrying against
+    /// [`SlotPool::catalog`] or an idle pool.
+    pub fn allocate(&mut self, profile: &JobProfile) -> Result<Allocation, ScheduleError> {
+        let mut view = self.catalog.clone();
+        for (spec, &free) in view.clusters.iter_mut().zip(&self.free_nodes) {
+            spec.nodes = free;
+        }
+        let alloc = allocate(&view, profile)?;
+        let booked = alloc.nodes_per_group();
+        for &c in &alloc.cluster_of_group {
+            debug_assert!(self.free_nodes[c] >= booked, "allocation exceeded free capacity");
+            self.free_nodes[c] -= booked;
+        }
+        Ok(alloc)
+    }
+
+    /// Returns the nodes of `alloc` to the pool.
+    ///
+    /// # Panics
+    /// Panics when the return would push a cluster past its physical node
+    /// count — i.e. on a double release or a release of a foreign
+    /// allocation, the two ways slot accounting can leak.
+    pub fn release(&mut self, alloc: &Allocation) {
+        let booked = alloc.nodes_per_group();
+        for &c in &alloc.cluster_of_group {
+            self.free_nodes[c] += booked;
+            assert!(
+                self.free_nodes[c] <= self.catalog.clusters[c].nodes,
+                "slot-accounting leak: cluster {} freed past its {} physical nodes",
+                self.catalog.clusters[c].name,
+                self.catalog.clusters[c].nodes,
+            );
+        }
+    }
 }
 
 /// Allocates resources for `profile` from `catalog`.
@@ -288,5 +391,63 @@ mod tests {
         // For a single group the scheduler should pick Orsay (312 nodes).
         let alloc = allocate(&g5k(), &JobProfile::cluster_of_clusters(1, 64)).unwrap();
         assert_eq!(alloc.cluster_of_group, vec![0]);
+    }
+
+    #[test]
+    fn slot_pool_exhausts_and_fully_recovers_grid5000() {
+        // Lease single-site 64-proc jobs (32 dual-socket nodes each) until
+        // the catalog runs dry, then release everything and check the pool
+        // is exactly as full as it started — allocate→release is leak-free.
+        let mut pool = SlotPool::new(g5k());
+        let profile = JobProfile::cluster_of_clusters(1, 64);
+        let mut leases = Vec::new();
+        loop {
+            match pool.allocate(&profile) {
+                Ok(a) => {
+                    assert_eq!(a.nodes_per_group(), 32);
+                    leases.push(a);
+                }
+                Err(ScheduleError::NotEnoughProcs { .. }) => break,
+                Err(other) => panic!("unexpected rejection {other:?}"),
+            }
+        }
+        // 312/32 + 93/32 + 80/32 + 56/32 = 9 + 2 + 2 + 1 whole leases.
+        assert_eq!(leases.len(), 14);
+        assert_eq!(pool.total_free_nodes(), (312 - 288) + (93 - 64) + (80 - 64) + (56 - 32));
+        assert!(!pool.is_idle());
+        for a in &leases {
+            a.release(&mut pool);
+        }
+        assert!(pool.is_idle());
+        assert_eq!(pool.total_free_nodes(), 312 + 93 + 80 + 56);
+        // And the recovered pool serves the paper's four-site job again.
+        let again = pool.allocate(&JobProfile::cluster_of_clusters(4, 64)).unwrap();
+        assert_eq!(again.topology.num_procs(), 256);
+        pool.release(&again);
+        assert!(pool.is_idle());
+    }
+
+    #[test]
+    fn slot_pool_prefers_emptiest_cluster() {
+        // After Orsay is half-booked below Bordeaux's free capacity, a new
+        // single-group job should land on Bordeaux (most free sockets).
+        let mut pool = SlotPool::new(g5k());
+        let profile = JobProfile::cluster_of_clusters(1, 64);
+        let mut held = Vec::new();
+        while pool.free_nodes(0) * 2 >= 186 {
+            held.push(pool.allocate(&profile).unwrap());
+            assert_eq!(held.last().unwrap().cluster_of_group, vec![0]);
+        }
+        let elsewhere = pool.allocate(&profile).unwrap();
+        assert_eq!(elsewhere.cluster_of_group, vec![2], "expected Bordeaux");
+    }
+
+    #[test]
+    #[should_panic(expected = "slot-accounting leak")]
+    fn double_release_panics() {
+        let mut pool = SlotPool::new(g5k());
+        let a = pool.allocate(&JobProfile::cluster_of_clusters(2, 16)).unwrap();
+        a.release(&mut pool);
+        a.release(&mut pool);
     }
 }

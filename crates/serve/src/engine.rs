@@ -1,0 +1,594 @@
+//! The contention-aware virtual-time executor.
+//!
+//! One event loop multiplexes every admitted job over a single
+//! [`ResourceCatalog`]: cluster slots are leased through
+//! [`tsqr_qcg::SlotPool`] (allocate at dispatch, release at completion,
+//! leak-free by construction), and each job's service time comes from
+//! the same analytic `predict_makespan` the autotuner trusts — split
+//! into two fluid phases so **concurrent jobs genuinely slow each other
+//! down**:
+//!
+//! 1. **Local phase** — leaf QR plus intra-cluster reduction. Clusters
+//!    are private to the lease (the slot pool never double-books a
+//!    node), so this phase runs at full speed for a fixed duration
+//!    `max(T_base − W, 0)`, where `T_base` is the solo makespan and `W`
+//!    the job's serial WAN residual.
+//! 2. **WAN drain** — the cluster-root → global-root transfers. A job's
+//!    WAN sends serialize at the receiving root NIC, so they form one
+//!    fluid queue of `W` wire-seconds draining against *shared*
+//!    physical site-pair links, priced by
+//!    [`tsqr_netsim::occupancy::SharedLinks`]: a link carrying `k`
+//!    concurrent drains gives each `1/k` of its capacity, and a job
+//!    drains at its most-contended link's share. A solo job reproduces
+//!    `T_base` exactly (bit-for-bit: phase 1 + W = T_base), which anchors
+//!    the whole serving model to the single-job bench baselines.
+//!
+//! The loop advances in piecewise-constant-rate segments: the next event
+//! is the earliest of (arrival, phase-1 completion, projected drain
+//! completion); remainders advance by `dt × rate` over the segment; all
+//! state changes happen at event instants, in a fixed order (phase
+//! transitions, completions, arrivals, then dispatch), with request-id
+//! tiebreaks — so the same seed and policy replay byte-identically.
+//!
+//! Batching (`--batch`): at dispatch, every queued request with the same
+//! `(cols, sites)` key coalesces into one stacked TSQR (row counts add;
+//! placement and reduction tree are shared). The batch pays the WAN
+//! message count of **one** job — `C − 1` cluster-root messages instead
+//! of `k(C − 1)` — which is the communication-optimal serving policy the
+//! CAQR line of work motivates. The shared finish time is attributed
+//! back to each member, whose sojourn still runs from its own arrival.
+
+use std::collections::BTreeMap;
+
+use tsqr_core::domains::DomainLayout;
+use tsqr_core::model::useful_flops;
+use tsqr_core::tree::{ReductionTree, Step, TreeShape};
+use tsqr_core::tune::predict_makespan;
+use tsqr_netsim::cost::LinkClass;
+use tsqr_netsim::occupancy::SharedLinks;
+use tsqr_netsim::VirtualTime;
+use tsqr_qcg::{Allocation, JobProfile, ResourceCatalog, SlotPool};
+
+use crate::policy::{BoundedQueue, Policy, QueuedJob};
+use crate::workload::{self, Request, ShapeClass, WorkloadSpec};
+
+/// Drain remainders at or below this many wire-seconds count as zero —
+/// guards the event loop against `f64` residue stalling virtual time.
+const DRAIN_EPS_S: f64 = 1e-12;
+
+/// Serving-run parameters (the `grid-tsqr serve` flag set).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Queue discipline.
+    pub policy: Policy,
+    /// Offered load (fraction of grid node capacity; see
+    /// [`crate::workload`]).
+    pub load: f64,
+    /// Requests in the trace.
+    pub requests: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Coalesce same-shape queued requests into stacked TSQRs.
+    pub batch: bool,
+    /// Bounded-queue capacity; arrivals beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Tenant count (fair-share granularity).
+    pub tenants: usize,
+    /// Processes per site-group (the paper's 64 ranks/site).
+    pub procs_per_site: usize,
+    /// Pin every request to one menu shape (same-shape burst mode).
+    pub single_shape: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            policy: Policy::Fifo,
+            load: 0.8,
+            requests: 200,
+            seed: 42,
+            batch: false,
+            queue_capacity: 64,
+            tenants: 4,
+            procs_per_site: 64,
+            single_shape: None,
+        }
+    }
+}
+
+/// How one request left the system. Every request gets exactly one
+/// disposition — the conservation invariant the proptests pin.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Disposition {
+    /// Ran to completion (possibly inside a batch of `batch_size`).
+    Completed {
+        /// Dispatch instant (allocation leased).
+        start: VirtualTime,
+        /// Completion instant.
+        finish: VirtualTime,
+        /// Requests sharing the stacked TSQR (1 = unbatched).
+        batch_size: usize,
+    },
+    /// Bounced off the full admission queue.
+    RejectedQueueFull,
+    /// Shape cannot be allocated even on an idle grid.
+    RejectedInfeasible,
+}
+
+/// A request paired with its disposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestRecord {
+    /// The request as generated.
+    pub request: Request,
+    /// What happened to it.
+    pub disposition: Disposition,
+}
+
+/// Everything a serving run produced; [`crate::report`] renders it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOutcome {
+    /// The configuration that produced this outcome.
+    pub config: ServeConfig,
+    /// Per-request dispositions, in request-id order.
+    pub records: Vec<RequestRecord>,
+    /// Virtual instant the last event fired (the run's horizon).
+    pub horizon: VirtualTime,
+    /// Jobs dispatched (a batch counts once).
+    pub dispatches: usize,
+    /// Total messages across all dispatched jobs.
+    pub msgs: u64,
+    /// Messages that crossed a wide-area link.
+    pub wan_msgs: u64,
+    /// Total payload bytes.
+    pub bytes: u64,
+    /// Useful flops of all dispatched work (for aggregate Gflop/s).
+    pub flops: f64,
+    /// Summed queue-wait seconds over admitted requests.
+    pub total_wait_s: f64,
+    /// Busy seconds per physical WAN site pair, canonical key order.
+    pub wan_busy: Vec<((usize, usize), f64)>,
+    /// Busy intervals `(link-class bucket, start_s, end_s)` for
+    /// timeline rendering (cluster bucket = local phases, WAN bucket =
+    /// drain segments).
+    pub busy_intervals: Vec<(usize, f64, f64)>,
+}
+
+/// Per-shape solo statistics: the SJF/calibration oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShapeOracle {
+    /// Uncontended service seconds per menu shape.
+    pub solo_s: Vec<f64>,
+    /// Nodes each shape's allocation books.
+    pub nodes: Vec<usize>,
+}
+
+/// What `predict_makespan` plus the reduction tree say about one
+/// dispatched job (or batch).
+struct JobModel {
+    t_base_s: f64,
+    wan_s: f64,
+    links: Vec<(usize, usize)>,
+    msgs: u64,
+    wan_msgs: u64,
+    bytes: u64,
+    flops: f64,
+}
+
+/// One running job (possibly a batch) in the event loop.
+struct RunJob {
+    members: Vec<QueuedJob>,
+    alloc: Allocation,
+    links: Vec<(usize, usize)>,
+    start: VirtualTime,
+    phase1_end: VirtualTime,
+    wan_rem_s: f64,
+    in_phase2: bool,
+}
+
+/// Builds the analytic model of one job on its allocation: solo
+/// makespan, WAN residual and per-class message counts, all from the
+/// same `GridHierarchical` reduction the single-job pipeline uses.
+fn job_model(alloc: &Allocation, m: u64, n: usize, procs_per_site: usize) -> JobModel {
+    let layout = DomainLayout::build(&alloc.topology, m, n, procs_per_site);
+    let cluster_of = layout.clusters();
+    let tree = ReductionTree::build(&TreeShape::GridHierarchical, layout.num_domains(), &cluster_of);
+    let rate = Some(alloc.effective_gflops_per_proc * 1e9);
+    let t_base = predict_makespan(&alloc.topology, &alloc.network, &layout, &tree, rate, rate);
+
+    let r_bytes = 8 * (n * (n + 1) / 2) as u64;
+    let roots = layout.roots();
+    let mut wan_s = 0.0;
+    let mut links: Vec<(usize, usize)> = Vec::new();
+    let mut msgs = 0u64;
+    let mut wan_msgs = 0u64;
+    let mut bytes = 0u64;
+    for (d, steps) in tree.steps.iter().enumerate() {
+        for step in steps {
+            if let Step::Send(to) = *step {
+                let a = alloc.topology.location(roots[d]);
+                let b = alloc.topology.location(roots[to]);
+                msgs += 1;
+                bytes += r_bytes;
+                if LinkClass::between(a, b).is_inter_cluster() {
+                    wan_msgs += 1;
+                    wan_s += alloc.network.message_time(a, b, r_bytes).secs();
+                    let key = SharedLinks::key(
+                        alloc.cluster_of_group[cluster_of[d]],
+                        alloc.cluster_of_group[cluster_of[to]],
+                    );
+                    if !links.contains(&key) {
+                        links.push(key);
+                    }
+                }
+            }
+        }
+    }
+    links.sort_unstable();
+    JobModel {
+        t_base_s: t_base.secs(),
+        wan_s,
+        links,
+        msgs,
+        wan_msgs,
+        bytes,
+        flops: useful_flops(m, n as u64, false),
+    }
+}
+
+/// Computes the solo oracle for every menu shape against an idle grid.
+///
+/// # Panics
+/// Panics when a menu shape cannot be allocated on the idle catalog —
+/// the admission layer relies on every menu shape being feasible.
+pub fn shape_oracle(catalog: &ResourceCatalog, procs_per_site: usize) -> ShapeOracle {
+    let mut solo_s = Vec::new();
+    let mut nodes = Vec::new();
+    for shape in workload::menu() {
+        let (s, nd) = solo_shape(catalog, shape, procs_per_site);
+        solo_s.push(s);
+        nodes.push(nd);
+    }
+    ShapeOracle { solo_s, nodes }
+}
+
+fn solo_shape(catalog: &ResourceCatalog, shape: ShapeClass, procs_per_site: usize) -> (f64, usize) {
+    let profile = JobProfile::cluster_of_clusters(shape.sites, procs_per_site);
+    let alloc = tsqr_qcg::allocate(catalog, &profile)
+        .expect("every menu shape must fit an idle grid");
+    let model = job_model(&alloc, shape.rows, shape.cols, procs_per_site);
+    (model.t_base_s, alloc.nodes_per_group() * alloc.num_groups())
+}
+
+/// Runs one serving trace to completion and returns the full outcome.
+///
+/// # Panics
+/// Panics if the loop ever wedges with admitted-but-unservable requests
+/// — that would be a silent drop, which the design forbids.
+pub fn serve(catalog: &ResourceCatalog, cfg: &ServeConfig) -> ServeOutcome {
+    let oracle = shape_oracle(catalog, cfg.procs_per_site);
+    let total_nodes: usize = catalog.clusters.iter().map(|c| c.nodes).sum();
+    let spec = WorkloadSpec {
+        requests: cfg.requests,
+        load: cfg.load,
+        seed: cfg.seed,
+        tenants: cfg.tenants,
+        single_shape: cfg.single_shape,
+    };
+    let requests = workload::generate(&spec, &oracle.solo_s, &oracle.nodes, total_nodes);
+
+    let mut dispositions: Vec<Option<Disposition>> = vec![None; requests.len()];
+    let mut pool = SlotPool::new(catalog.clone());
+    let mut shared = SharedLinks::default();
+    let mut queue = BoundedQueue::new(cfg.queue_capacity);
+    let mut tenant_served = vec![0.0f64; cfg.tenants];
+    let mut running: Vec<RunJob> = Vec::new();
+    let mut next_arr = 0usize;
+    let mut t = VirtualTime::ZERO;
+
+    let mut dispatches = 0usize;
+    let mut msgs = 0u64;
+    let mut wan_msgs = 0u64;
+    let mut bytes = 0u64;
+    let mut flops = 0.0f64;
+    let mut total_wait_s = 0.0f64;
+    let mut wan_busy: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+    let mut busy_intervals: Vec<(usize, f64, f64)> = Vec::new();
+
+    loop {
+        // Dispatch as much as the policy and the free slots allow. No
+        // backfill: the first allocation failure stops the pass.
+        while let Some(pos) = queue.select(cfg.policy, &tenant_served) {
+            let (cols, sites) = {
+                let head = &queue.items()[pos];
+                (head.cols, head.sites)
+            };
+            let profile = JobProfile::cluster_of_clusters(sites, cfg.procs_per_site);
+            let Ok(alloc) = pool.allocate(&profile) else {
+                break; // capacity contention: wait for a release
+            };
+            let mut members = vec![queue.remove(pos)];
+            if cfg.batch {
+                members.extend(queue.drain_matching(cols, sites));
+                members.sort_by_key(|j| j.id);
+            }
+            let m: u64 = members.iter().map(|j| j.rows).sum();
+            let model = job_model(&alloc, m, cols, cfg.procs_per_site);
+            dispatches += 1;
+            msgs += model.msgs;
+            wan_msgs += model.wan_msgs;
+            bytes += model.bytes;
+            flops += model.flops;
+            let booked = (alloc.nodes_per_group() * alloc.num_groups()) as f64;
+            for j in &members {
+                total_wait_s += (t - j.arrival).secs();
+                tenant_served[j.tenant] += model.t_base_s * booked / members.len() as f64;
+            }
+            let phase1_s = (model.t_base_s - model.wan_s).max(0.0);
+            let phase1_end = t + VirtualTime::from_secs(phase1_s);
+            busy_intervals.push((LinkClass::IntraCluster.bucket(), t.secs(), phase1_end.secs()));
+            running.push(RunJob {
+                members,
+                alloc,
+                links: model.links,
+                start: t,
+                phase1_end,
+                wan_rem_s: model.wan_s,
+                in_phase2: false,
+            });
+        }
+
+        // Earliest next event: arrival, phase-1 end, or projected drain
+        // completion at the current (piecewise-constant) rates.
+        let mut t_next: Option<VirtualTime> = None;
+        let mut consider = |x: VirtualTime| {
+            t_next = Some(match t_next {
+                Some(cur) if cur <= x => cur,
+                _ => x,
+            });
+        };
+        if next_arr < requests.len() {
+            consider(requests[next_arr].arrival);
+        }
+        for job in &running {
+            if !job.in_phase2 {
+                consider(job.phase1_end);
+            } else if job.wan_rem_s <= DRAIN_EPS_S {
+                consider(t);
+            } else {
+                let rate = shared.rate(&job.links);
+                consider(t + VirtualTime::from_secs(job.wan_rem_s / rate));
+            }
+        }
+        let Some(tn) = t_next else { break };
+
+        // Advance the fluid WAN drains across the segment.
+        let dt = (tn - t).secs();
+        if dt > 0.0 {
+            for job in &mut running {
+                if job.in_phase2 {
+                    let rate = shared.rate(&job.links);
+                    job.wan_rem_s = (job.wan_rem_s - dt * rate).max(0.0);
+                }
+            }
+            for l in shared.active_links() {
+                *wan_busy.entry(l).or_insert(0.0) += dt;
+                busy_intervals.push((LinkClass::N_BUCKETS - 1, t.secs(), tn.secs()));
+            }
+        }
+        t = tn;
+
+        // Events at t, in fixed order. (a) local phases that finished
+        // enter the shared WAN drain:
+        for job in &mut running {
+            if !job.in_phase2 && job.phase1_end <= t {
+                job.in_phase2 = true;
+                shared.join(&job.links);
+            }
+        }
+        // (b) drained jobs complete: release slots, leave links, record.
+        let mut still = Vec::with_capacity(running.len());
+        for job in running.drain(..) {
+            if job.in_phase2 && job.wan_rem_s <= DRAIN_EPS_S {
+                shared.leave(&job.links);
+                job.alloc.release(&mut pool);
+                let k = job.members.len();
+                for memb in &job.members {
+                    dispositions[memb.id] = Some(Disposition::Completed {
+                        start: job.start,
+                        finish: t,
+                        batch_size: k,
+                    });
+                }
+            } else {
+                still.push(job);
+            }
+        }
+        running = still;
+        // (c) arrivals at t are admitted or explicitly rejected.
+        while next_arr < requests.len() && requests[next_arr].arrival <= t {
+            let r = &requests[next_arr];
+            let qj = QueuedJob {
+                id: r.id,
+                tenant: r.tenant,
+                shape: r.shape,
+                rows: r.rows,
+                cols: r.cols,
+                sites: r.sites,
+                arrival: r.arrival,
+                deadline: r.deadline,
+                service_s: oracle.solo_s[r.shape],
+            };
+            if queue.try_push(qj).is_err() {
+                dispositions[r.id] = Some(Disposition::RejectedQueueFull);
+            }
+            next_arr += 1;
+        }
+    }
+
+    assert!(
+        dispositions.iter().all(|d| d.is_some()),
+        "serving loop wedged with unresolved requests — silent drops are forbidden"
+    );
+    assert!(pool.is_idle(), "slot leak: pool not fully recovered after drain");
+
+    let records = requests
+        .into_iter()
+        .zip(dispositions)
+        .map(|(request, d)| RequestRecord { request, disposition: d.expect("checked above") })
+        .collect();
+    ServeOutcome {
+        config: cfg.clone(),
+        records,
+        horizon: t,
+        dispatches,
+        msgs,
+        wan_msgs,
+        bytes,
+        flops,
+        total_wait_s,
+        wan_busy: wan_busy.into_iter().collect(),
+        busy_intervals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g5k() -> ResourceCatalog {
+        ResourceCatalog::grid5000()
+    }
+
+    #[test]
+    fn oracle_covers_menu_and_orders_by_work() {
+        let o = shape_oracle(&g5k(), 64);
+        assert_eq!(o.solo_s.len(), workload::menu().len());
+        assert!(o.solo_s.iter().all(|&s| s > 0.0));
+        // The four-site flagship books the most nodes.
+        assert_eq!(o.nodes.iter().max(), o.nodes.last());
+    }
+
+    #[test]
+    fn solo_job_reproduces_its_predicted_makespan() {
+        // One request at trivial load: sojourn == solo prediction (the
+        // two-phase split must be exact for an uncontended job).
+        let cfg = ServeConfig { requests: 1, load: 0.1, ..Default::default() };
+        let out = serve(&g5k(), &cfg);
+        let o = shape_oracle(&g5k(), 64);
+        let rec = &out.records[0];
+        match rec.disposition {
+            Disposition::Completed { start, finish, batch_size } => {
+                assert_eq!(batch_size, 1);
+                assert_eq!(start, rec.request.arrival, "idle grid dispatches immediately");
+                let sojourn = (finish - start).secs();
+                let solo = o.solo_s[rec.request.shape];
+                assert!(
+                    (sojourn - solo).abs() <= 1e-9 * solo,
+                    "solo sojourn {sojourn} != predicted {solo}"
+                );
+            }
+            ref other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_request_gets_exactly_one_disposition() {
+        for load in [0.3, 1.5] {
+            let cfg = ServeConfig { requests: 60, load, ..Default::default() };
+            let out = serve(&g5k(), &cfg);
+            assert_eq!(out.records.len(), 60);
+            let completed = out
+                .records
+                .iter()
+                .filter(|r| matches!(r.disposition, Disposition::Completed { .. }))
+                .count();
+            let rejected = out.records.len() - completed;
+            assert_eq!(completed + rejected, 60);
+        }
+    }
+
+    #[test]
+    fn contention_stretches_sojourns() {
+        // Two four-site jobs arriving together must interfere on the WAN
+        // drain: the later one's sojourn exceeds its solo service time.
+        let cfg = ServeConfig {
+            requests: 8,
+            load: 3.0,
+            single_shape: Some(3),
+            ..Default::default()
+        };
+        let out = serve(&g5k(), &cfg);
+        let o = shape_oracle(&g5k(), 64);
+        let solo = o.solo_s[3];
+        let max_sojourn = out
+            .records
+            .iter()
+            .filter_map(|r| match r.disposition {
+                Disposition::Completed { finish, .. } => {
+                    Some((finish - r.request.arrival).secs())
+                }
+                _ => None,
+            })
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_sojourn > 1.01 * solo,
+            "overlapping jobs should queue/contend: max sojourn {max_sojourn} vs solo {solo}"
+        );
+        assert!(!out.wan_busy.is_empty(), "four-site jobs must touch WAN links");
+    }
+
+    #[test]
+    fn batching_coalesces_and_cuts_wan_messages() {
+        let base = ServeConfig {
+            requests: 24,
+            load: 4.0,
+            single_shape: Some(3),
+            ..Default::default()
+        };
+        let unbatched = serve(&g5k(), &base);
+        let batched = serve(&g5k(), &ServeConfig { batch: true, ..base });
+        assert!(batched.dispatches < unbatched.dispatches);
+        assert!(
+            batched.wan_msgs < unbatched.wan_msgs,
+            "batching must strictly reduce WAN messages: {} vs {}",
+            batched.wan_msgs,
+            unbatched.wan_msgs
+        );
+        // Both serve every request.
+        for out in [&unbatched, &batched] {
+            assert!(out
+                .records
+                .iter()
+                .all(|r| !matches!(r.disposition, Disposition::RejectedInfeasible)));
+        }
+        // Some batch actually formed.
+        assert!(batched.records.iter().any(
+            |r| matches!(r.disposition, Disposition::Completed { batch_size, .. } if batch_size > 1)
+        ));
+    }
+
+    #[test]
+    fn bounded_queue_rejects_under_overload() {
+        let cfg = ServeConfig {
+            requests: 80,
+            load: 8.0,
+            queue_capacity: 4,
+            ..Default::default()
+        };
+        let out = serve(&g5k(), &cfg);
+        let rejected = out
+            .records
+            .iter()
+            .filter(|r| matches!(r.disposition, Disposition::RejectedQueueFull))
+            .count();
+        assert!(rejected > 0, "a 4-deep queue at 8x load must reject");
+    }
+
+    #[test]
+    fn same_seed_same_policy_is_byte_identical() {
+        let cfg = ServeConfig { requests: 40, load: 1.2, ..Default::default() };
+        let a = serve(&g5k(), &cfg);
+        let b = serve(&g5k(), &cfg);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,276 @@
+//! Admission control and queue disciplines.
+//!
+//! The queue is **bounded**: an arrival that finds it full is rejected
+//! explicitly (the client hears "no", it is never silently dropped —
+//! the conservation proptest pins this). Admitted requests wait in a
+//! single queue; a *policy* decides which waiting request dispatches
+//! next when capacity frees up:
+//!
+//! * [`Policy::Fifo`] — arrival order, the baseline. Head-of-line
+//!   blocking included: nothing overtakes, which is exactly what makes
+//!   its dispatch order provable (see the serve proptests).
+//! * [`Policy::Sjf`] — shortest job first, using the analytic
+//!   `predict_makespan` oracle as the size estimate. The classic mean-
+//!   sojourn optimizer; the bench gate asserts it beats FIFO at high
+//!   load.
+//! * [`Policy::Edf`] — earliest deadline first, minimizing SLO misses
+//!   when the system is feasible.
+//! * [`Policy::Fair`] — per-tenant fair share: dispatch the request of
+//!   the tenant with the least accumulated service (node-seconds), FIFO
+//!   within a tenant.
+//!
+//! All selection tiebreaks fall back to the request id, so every policy
+//! is a total deterministic order and a replay with the same seed is
+//! byte-identical.
+//!
+//! No policy backfills: when the selected request cannot get an
+//! allocation, dispatch stops until something releases. That costs some
+//! utilization (a small job could squeeze past a blocked big one) but
+//! keeps every policy's ordering semantics exact; backfilling is listed
+//! as a roadmap follow-on.
+
+use tsqr_netsim::VirtualTime;
+
+/// A queue/dispatch discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// First in, first out (arrival order).
+    Fifo,
+    /// Shortest (predicted) job first.
+    Sjf,
+    /// Earliest deadline first.
+    Edf,
+    /// Per-tenant fair share by accumulated node-seconds.
+    Fair,
+}
+
+impl Policy {
+    /// All policies, in the stable order reports and benches use.
+    pub fn all() -> [Policy; 4] {
+        [Policy::Fifo, Policy::Sjf, Policy::Edf, Policy::Fair]
+    }
+
+    /// Stable lowercase label (`fifo`, `sjf`, `edf`, `fair`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Policy::Fifo => "fifo",
+            Policy::Sjf => "sjf",
+            Policy::Edf => "edf",
+            Policy::Fair => "fair",
+        }
+    }
+
+    /// Parses a label as produced by [`Policy::label`].
+    pub fn parse(s: &str) -> Result<Policy, String> {
+        match s {
+            "fifo" => Ok(Policy::Fifo),
+            "sjf" => Ok(Policy::Sjf),
+            "edf" => Ok(Policy::Edf),
+            "fair" => Ok(Policy::Fair),
+            other => Err(format!("unknown policy {other:?} (want fifo|sjf|edf|fair)")),
+        }
+    }
+}
+
+/// A request waiting in the queue, carrying everything a policy ranks by.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueuedJob {
+    /// Request id (index into the workload; the deterministic tiebreak).
+    pub id: usize,
+    /// Owning tenant.
+    pub tenant: usize,
+    /// Menu shape index.
+    pub shape: usize,
+    /// Rows of this request.
+    pub rows: u64,
+    /// Columns (batching key).
+    pub cols: usize,
+    /// Site affinity (batching key).
+    pub sites: usize,
+    /// Arrival instant.
+    pub arrival: VirtualTime,
+    /// SLO deadline (EDF key).
+    pub deadline: VirtualTime,
+    /// Predicted solo service seconds (SJF key).
+    pub service_s: f64,
+}
+
+/// A bounded FIFO-ordered waiting room; policies pick *positions* out of
+/// it. Capacity 0 is legal and rejects everything (a pure admission
+/// stress mode).
+#[derive(Debug, Clone)]
+pub struct BoundedQueue {
+    capacity: usize,
+    items: Vec<QueuedJob>,
+}
+
+impl BoundedQueue {
+    /// An empty queue admitting at most `capacity` waiting requests.
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue { capacity, items: Vec::new() }
+    }
+
+    /// Waiting requests.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing waits.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True when an arrival would be rejected.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Admits `job`, or returns it when the queue is full (the explicit
+    /// rejection path — the caller records the outcome).
+    pub fn try_push(&mut self, job: QueuedJob) -> Result<(), QueuedJob> {
+        if self.is_full() {
+            Err(job)
+        } else {
+            self.items.push(job);
+            Ok(())
+        }
+    }
+
+    /// The waiting jobs, in arrival order (read-only view).
+    pub fn items(&self) -> &[QueuedJob] {
+        &self.items
+    }
+
+    /// The position `policy` dispatches next, given each tenant's
+    /// accumulated service (`tenant_served`, node-seconds; only Fair
+    /// reads it). `None` on an empty queue.
+    pub fn select(&self, policy: Policy, tenant_served: &[f64]) -> Option<usize> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let best = |key: &dyn Fn(&QueuedJob) -> (f64, usize)| -> usize {
+            let mut best_pos = 0;
+            let mut best_key = key(&self.items[0]);
+            for (pos, j) in self.items.iter().enumerate().skip(1) {
+                let k = key(j);
+                if k.0 < best_key.0 || (k.0 == best_key.0 && k.1 < best_key.1) {
+                    best_key = k;
+                    best_pos = pos;
+                }
+            }
+            best_pos
+        };
+        Some(match policy {
+            // Items are kept in arrival order, so FIFO is the front.
+            Policy::Fifo => 0,
+            Policy::Sjf => best(&|j| (j.service_s, j.id)),
+            Policy::Edf => best(&|j| (j.deadline.secs(), j.id)),
+            Policy::Fair => best(&|j| (tenant_served[j.tenant], j.id)),
+        })
+    }
+
+    /// Removes and returns the job at `pos` (preserving arrival order of
+    /// the rest).
+    pub fn remove(&mut self, pos: usize) -> QueuedJob {
+        self.items.remove(pos)
+    }
+
+    /// Removes every waiting job with the given batching key (same
+    /// columns, same site affinity — i.e. same placement and tree shape,
+    /// only row counts differ), in arrival order. Used by `--batch` to
+    /// coalesce a burst into one stacked TSQR.
+    pub fn drain_matching(&mut self, cols: usize, sites: usize) -> Vec<QueuedJob> {
+        let mut matched = Vec::new();
+        let mut rest = Vec::with_capacity(self.items.len());
+        for j in self.items.drain(..) {
+            if j.cols == cols && j.sites == sites {
+                matched.push(j);
+            } else {
+                rest.push(j);
+            }
+        }
+        self.items = rest;
+        matched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: usize, tenant: usize, service_s: f64, deadline_s: f64) -> QueuedJob {
+        QueuedJob {
+            id,
+            tenant,
+            shape: 0,
+            rows: 1 << 19,
+            cols: 64,
+            sites: 1,
+            arrival: VirtualTime::from_secs(id as f64),
+            deadline: VirtualTime::from_secs(deadline_s),
+            service_s,
+        }
+    }
+
+    #[test]
+    fn policy_labels_round_trip() {
+        for p in Policy::all() {
+            assert_eq!(Policy::parse(p.label()), Ok(p));
+        }
+        assert!(Policy::parse("lifo").is_err());
+    }
+
+    #[test]
+    fn bounded_queue_rejects_when_full() {
+        let mut q = BoundedQueue::new(2);
+        assert!(q.try_push(job(0, 0, 1.0, 10.0)).is_ok());
+        assert!(q.try_push(job(1, 0, 1.0, 10.0)).is_ok());
+        let bounced = q.try_push(job(2, 0, 1.0, 10.0));
+        assert_eq!(bounced.unwrap_err().id, 2);
+        assert_eq!(q.len(), 2);
+        // Zero capacity rejects everything.
+        let mut z = BoundedQueue::new(0);
+        assert!(z.try_push(job(0, 0, 1.0, 10.0)).is_err());
+    }
+
+    #[test]
+    fn selection_keys_per_policy() {
+        let mut q = BoundedQueue::new(8);
+        q.try_push(job(0, 0, 5.0, 30.0)).unwrap();
+        q.try_push(job(1, 1, 1.0, 20.0)).unwrap();
+        q.try_push(job(2, 0, 3.0, 10.0)).unwrap();
+        let served = vec![100.0, 0.0];
+        assert_eq!(q.select(Policy::Fifo, &served), Some(0));
+        assert_eq!(q.select(Policy::Sjf, &served), Some(1), "shortest service");
+        assert_eq!(q.select(Policy::Edf, &served), Some(2), "earliest deadline");
+        assert_eq!(q.select(Policy::Fair, &served), Some(1), "least-served tenant");
+        assert_eq!(q.remove(1).id, 1);
+        assert_eq!(q.items()[1].id, 2, "arrival order preserved after removal");
+    }
+
+    #[test]
+    fn ties_break_by_request_id() {
+        let mut q = BoundedQueue::new(8);
+        q.try_push(job(3, 0, 1.0, 10.0)).unwrap();
+        q.try_push(job(1, 1, 1.0, 10.0)).unwrap();
+        let served = vec![0.0, 0.0];
+        // Equal service, equal deadline, equal tenant credit → lowest id.
+        assert_eq!(q.select(Policy::Sjf, &served), Some(1));
+        assert_eq!(q.select(Policy::Edf, &served), Some(1));
+        assert_eq!(q.select(Policy::Fair, &served), Some(1));
+    }
+
+    #[test]
+    fn drain_matching_takes_only_the_batch_key() {
+        let mut q = BoundedQueue::new(8);
+        q.try_push(job(0, 0, 1.0, 10.0)).unwrap();
+        let mut other = job(1, 0, 1.0, 10.0);
+        other.cols = 32;
+        q.try_push(other).unwrap();
+        q.try_push(job(2, 1, 1.0, 12.0)).unwrap();
+        let batch = q.drain_matching(64, 1);
+        assert_eq!(batch.iter().map(|j| j.id).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.items()[0].id, 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the serving layer's contracts:
+//!
+//! 1. **Conservation** — every generated request ends with exactly one
+//!    explicit disposition (completed or rejected); the engine never
+//!    silently drops work, at any load or queue depth.
+//! 2. **FIFO dispatch order** — with head-of-line blocking and no
+//!    backfill, FIFO start instants are monotone in arrival order.
+//!    (Finish instants are *not* claimed monotone: jobs of different
+//!    shapes run on clusters with different peaks and overlap, so a
+//!    later-started short job can finish before an earlier long one.)
+//! 3. **Replay determinism** — same seed, load, and policy reproduce a
+//!    byte-identical rendered report.
+
+use proptest::prelude::*;
+
+use tsqr_qcg::ResourceCatalog;
+use tsqr_serve::{serve, Disposition, Policy, PolicyReport, ServeConfig};
+
+fn cfg(policy: Policy, load: f64, seed: u64, requests: usize, cap: usize) -> ServeConfig {
+    ServeConfig {
+        policy,
+        load,
+        requests,
+        seed,
+        queue_capacity: cap,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Accepted requests complete; the rest are explicitly rejected.
+    /// completed + rejected == generated, for every policy and load.
+    #[test]
+    fn every_request_is_explicitly_disposed(
+        policy_ix in 0usize..4,
+        load_x10 in 3u64..30,
+        seed in 0u64..1_000_000,
+        cap in 1usize..16,
+    ) {
+        let policy = Policy::all()[policy_ix];
+        let load = load_x10 as f64 / 10.0;
+        let out = serve(&ResourceCatalog::grid5000(), &cfg(policy, load, seed, 25, cap));
+        prop_assert_eq!(out.records.len(), 25);
+        let mut completed = 0usize;
+        let mut rejected = 0usize;
+        for r in &out.records {
+            match r.disposition {
+                Disposition::Completed { start, finish, batch_size } => {
+                    completed += 1;
+                    prop_assert!(batch_size >= 1);
+                    prop_assert!(start >= r.request.arrival, "no time travel at dispatch");
+                    prop_assert!(finish > start, "service takes positive virtual time");
+                }
+                Disposition::RejectedQueueFull | Disposition::RejectedInfeasible => {
+                    rejected += 1;
+                }
+            }
+        }
+        prop_assert_eq!(completed + rejected, 25, "conservation of requests");
+    }
+
+    /// FIFO never reorders dispatches: completed requests start in
+    /// arrival (id) order. Holds at any load because the queue is
+    /// arrival-ordered and nothing backfills past a blocked head.
+    #[test]
+    fn fifo_start_times_are_monotone_in_arrival_order(
+        load_x10 in 3u64..25,
+        seed in 0u64..1_000_000,
+    ) {
+        let load = load_x10 as f64 / 10.0;
+        let out = serve(&ResourceCatalog::grid5000(), &cfg(Policy::Fifo, load, seed, 30, 64));
+        let mut last_start = None;
+        for r in &out.records {
+            if let Disposition::Completed { start, .. } = r.disposition {
+                if let Some(prev) = last_start {
+                    prop_assert!(
+                        start >= prev,
+                        "FIFO dispatched request {} before an earlier arrival",
+                        r.request.id
+                    );
+                }
+                last_start = Some(start);
+            }
+        }
+    }
+
+    /// Same seed + same policy → byte-identical outcome and report.
+    #[test]
+    fn replays_are_byte_identical(
+        policy_ix in 0usize..4,
+        seed in 0u64..1_000_000,
+        batch in proptest::bool::ANY,
+    ) {
+        let policy = Policy::all()[policy_ix];
+        let mut c = cfg(policy, 1.2, seed, 20, 32);
+        c.batch = batch;
+        let cat = ResourceCatalog::grid5000();
+        let a = serve(&cat, &c);
+        let b = serve(&cat, &c);
+        prop_assert_eq!(&a, &b, "outcome structs must match exactly");
+        let ra = PolicyReport::from_outcome(&a);
+        let rb = PolicyReport::from_outcome(&b);
+        prop_assert_eq!(ra.render(), rb.render());
+        prop_assert_eq!(ra.summary_line(), rb.summary_line());
+    }
+}

@@ -52,6 +52,14 @@ $FAULTS --crash 0@2 --crash 1@4 --baseline >/dev/null
 $FAULTS --drop-prob 64:0:0.4 --wan-slow 0:50:4:4 --fault-seed 7 >/dev/null
 echo "    fault smoke: all scenarios recovered bitwise"
 
+echo "==> serving-layer smoke (multi-tenant scheduler: every policy on one"
+echo "    seeded trace, plus the batched same-shape burst; docs/serving.md)"
+SERVE="./target/release/grid-tsqr serve --requests 40 --seed 11"
+$SERVE --policy all --load 1.5 >/dev/null
+$SERVE --policy fifo --load 4.0 --shape 3 --batch >/dev/null
+$SERVE --policy sjf --sweep 0.5,1.0,2.0 >/dev/null
+echo "    serve smoke: all policies scored, batch and sweep render"
+
 echo "==> report gate (experiment-ledger dashboard pinned against"
 echo "    REPORT_baseline.md; --check flags anomalous model residuals)"
 ./target/release/grid-tsqr report --ledger ledger/runs.jsonl \

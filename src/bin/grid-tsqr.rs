@@ -16,6 +16,9 @@
 //!                     [--drop SRC:DST:NTH ...] [--drop-prob SRC:DST:P ...]
 //!                     [--wan-slow FROM_MS:UNTIL_MS:LATx:BWx] [--fault-seed 1]
 //!                     [--baseline]
+//! grid-tsqr serve     [--policy fifo|sjf|edf|fair|all] [--load 0.8] [--requests 200]
+//!                     [--seed 42] [--batch] [--queue 64] [--shape MENU_IX]
+//!                     [--sweep L1,L2,...] [--trace-out dispositions.jsonl]
 //! grid-tsqr check     [--m 65536 --n 32] [--sites 4] [--no-matrix]
 //!                     [--no-explore] [--golden COMMCHECK_baseline.txt] [--bless]
 //! grid-tsqr report    [--ledger ledger/runs.jsonl] [--threshold 0.05] [--top 10]
@@ -56,6 +59,16 @@
 //! program fails (typed, structured — no panic) under the same schedule.
 //! See `docs/fault-injection.md`.
 //!
+//! `serve` runs the deterministic multi-tenant serving layer
+//! (`tsqr-serve`, handbook in `docs/serving.md`): a seeded open-loop
+//! request stream multiplexed over one Grid'5000 catalog with cluster
+//! slots leased per job and WAN transfers priced against shared
+//! per-link capacity. `--policy all` scores every discipline on the
+//! same trace; `--batch` coalesces same-shape queued requests into one
+//! stacked TSQR; `--sweep` renders the latency/throughput knee over a
+//! comma-separated load list; `--trace-out` writes per-request
+//! dispositions as JSON lines.
+//!
 //! `check` is the **commcheck** gate (`docs/static-analysis.md`): it runs
 //! the figure-style scenarios and the fault matrix with tracing on, feeds
 //! every trace through the happens-before analyzer
@@ -93,6 +106,7 @@ use grid_tsqr::netsim::{
     ClusterSpec, CostModel, FailureSchedule, GridTopology, LinkParams, VirtualTime,
 };
 use grid_tsqr::obs::ledger::{append_entry, path_from_env, read_ledger};
+use grid_tsqr::serve::{Policy as ServePolicy, PolicyReport, ServeConfig};
 use grid_tsqr::obs::report::{detect_anomalies, render_report, ReportOptions};
 use tsqr_bench::{calib, grid_runtime, ledger_entry};
 
@@ -222,6 +236,9 @@ fn usage() -> ExitCode {
          \x20                     [--crash RANK@MS ...] [--drop SRC:DST:NTH ...]\n\
          \x20                     [--drop-prob SRC:DST:P ...] [--wan-slow FROM_MS:UNTIL_MS:LATx:BWx]\n\
          \x20                     [--baseline]\n\
+         \x20 grid-tsqr serve     [--policy fifo|sjf|edf|fair|all] [--load <x>] [--requests <k>]\n\
+         \x20                     [--seed <u64>] [--batch] [--queue <cap>] [--shape <menu ix>]\n\
+         \x20                     [--sweep <l1,l2,...>] [--trace-out <file.jsonl>]\n\
          \x20 grid-tsqr check     [--m <rows> --n <cols>] [--sites 1..4] [--no-matrix]\n\
          \x20                     [--no-explore] [--golden <baseline.txt>] [--bless]\n\
          \x20 grid-tsqr report    [--ledger <runs.jsonl>] [--threshold <frac>] [--top <k>]\n\
@@ -252,7 +269,11 @@ fn usage() -> ExitCode {
          report renders the trend/anomaly dashboard over the experiment\n\
          ledger (append with GRID_TSQR_LEDGER=<file>); --check exits nonzero\n\
          on per-phase model residuals exceeding the scenario reference by\n\
-         more than --threshold. See docs/observability.md #9.\n"
+         more than --threshold. See docs/observability.md #9.\n\
+         serve multiplexes a seeded multi-tenant request stream over one\n\
+         grid: bounded-queue admission, fifo/sjf/edf/fair dispatch, slot\n\
+         leasing, shared-WAN contention, optional same-shape batching.\n\
+         See docs/serving.md.\n"
     );
     ExitCode::from(2)
 }
@@ -366,6 +387,186 @@ fn run() -> Result<String, String> {
                 entries.len(),
                 threshold * 100.0
             ));
+        }
+        return Ok(out);
+    }
+
+    if cmd == "serve" {
+        // Multi-tenant serving layer (docs/serving.md): pure virtual-time
+        // simulation over the Grid'5000 catalog — no runtime needed.
+        let catalog = grid_tsqr::qcg::ResourceCatalog::grid5000();
+        let load: f64 = args.num("load", 0.8f64)?;
+        if !load.is_finite() || load <= 0.0 {
+            return Err("--load must be a positive finite fraction of grid capacity".into());
+        }
+        let requests: usize = args.num("requests", 200usize)?;
+        if requests == 0 {
+            return Err("--requests must be at least 1".into());
+        }
+        let queue_capacity: usize = args.num("queue", 64usize)?;
+        let single_shape: Option<usize> = match args.get("shape") {
+            None => None,
+            Some(v) => {
+                let i: usize =
+                    v.parse().map_err(|_| format!("--shape: cannot parse {v:?}"))?;
+                if i >= grid_tsqr::serve::menu().len() {
+                    return Err(format!(
+                        "--shape {i}: the menu has {} shapes",
+                        grid_tsqr::serve::menu().len()
+                    ));
+                }
+                Some(i)
+            }
+        };
+        let policy_arg = args.get("policy").unwrap_or("fifo");
+        let policies: Vec<ServePolicy> = if policy_arg == "all" {
+            ServePolicy::all().to_vec()
+        } else {
+            vec![ServePolicy::parse(policy_arg)?]
+        };
+        let base = ServeConfig {
+            policy: policies[0],
+            load,
+            requests,
+            seed: args.num("seed", 42u64)?,
+            batch: args.has("batch"),
+            queue_capacity,
+            single_shape,
+            ..Default::default()
+        };
+
+        let mut out = String::new();
+        if let Some(sweep) = args.get("sweep") {
+            // Latency/throughput knee: one row per load, first policy only.
+            let mut rows = Vec::new();
+            for tok in sweep.split(',') {
+                let l: f64 =
+                    tok.parse().map_err(|_| format!("--sweep: cannot parse {tok:?}"))?;
+                if !l.is_finite() || l <= 0.0 {
+                    return Err("--sweep loads must be positive".into());
+                }
+                let outcome =
+                    grid_tsqr::serve::serve(&catalog, &ServeConfig { load: l, ..base.clone() });
+                rows.push((l, PolicyReport::from_outcome(&outcome)));
+            }
+            out.push_str(&format!(
+                "load sweep, policy {}{}:\n",
+                base.policy.label(),
+                if base.batch { " +batch" } else { "" }
+            ));
+            out.push_str(&grid_tsqr::serve::load_sweep_table(&rows));
+            return Ok(out);
+        }
+
+        let ledger = path_from_env();
+        for (i, &policy) in policies.iter().enumerate() {
+            let cfg = ServeConfig { policy, ..base.clone() };
+            let outcome = grid_tsqr::serve::serve(&catalog, &cfg);
+            let report = PolicyReport::from_outcome(&outcome);
+            if i > 0 {
+                out.push('\n');
+            }
+            out.push_str(&report.render());
+            if policies.len() == 1 {
+                out.push_str("\nlink-class busy timeline:\n");
+                out.push_str(&grid_tsqr::serve::timeline(&outcome, 48).render());
+            }
+            if let Some(path) = args.get("trace-out") {
+                // One JSON line per request, in id order — deterministic.
+                let suffixed = if policies.len() == 1 {
+                    path.to_string()
+                } else {
+                    format!("{path}.{}", policy.label())
+                };
+                let mut body = String::new();
+                for r in &outcome.records {
+                    let disp = match &r.disposition {
+                        grid_tsqr::serve::Disposition::Completed {
+                            start,
+                            finish,
+                            batch_size,
+                        } => format!(
+                            "\"completed\",\"start_s\":{:.9},\"finish_s\":{:.9},\"batch\":{}",
+                            start.secs(),
+                            finish.secs(),
+                            batch_size
+                        ),
+                        grid_tsqr::serve::Disposition::RejectedQueueFull => {
+                            "\"rejected-queue-full\"".to_string()
+                        }
+                        grid_tsqr::serve::Disposition::RejectedInfeasible => {
+                            "\"rejected-infeasible\"".to_string()
+                        }
+                    };
+                    body.push_str(&format!(
+                        "{{\"id\":{},\"tenant\":{},\"shape\":{},\"rows\":{},\"cols\":{},\
+                         \"sites\":{},\"arrival_s\":{:.9},\"deadline_s\":{:.9},\
+                         \"disposition\":{disp}}}\n",
+                        r.request.id,
+                        r.request.tenant,
+                        r.request.shape,
+                        r.request.rows,
+                        r.request.cols,
+                        r.request.sites,
+                        r.request.arrival.secs(),
+                        r.request.deadline.secs(),
+                    ));
+                }
+                std::fs::write(&suffixed, body)
+                    .map_err(|e| format!("cannot write {suffixed:?}: {e}"))?;
+                out.push_str(&format!(
+                    "dispositions for {} request(s) written to {suffixed}\n",
+                    outcome.records.len()
+                ));
+            }
+            // Record the run in the experiment ledger. Serving reuses the
+            // critical-path columns for queueing statistics — the mapping
+            // is documented in docs/serving.md §Ledger.
+            if let Some(path) = &ledger {
+                let total_rows: u64 = outcome.records.iter().map(|r| r.request.rows).sum();
+                let entry = grid_tsqr::obs::ledger::LedgerEntry {
+                    seq: 0,
+                    source: "serve".into(),
+                    scenario: format!(
+                        "cli/serve/{}-load{load:.2}{}",
+                        policy.label(),
+                        if cfg.batch { "-batch" } else { "" }
+                    ),
+                    sites: catalog.clusters.len(),
+                    procs: catalog.total_procs(),
+                    m: total_rows as usize,
+                    n: 64,
+                    tree: format!("serve/{}", policy.label()),
+                    makespan_s: report.horizon_s,
+                    gflops: report.gflops,
+                    msgs: report.msgs,
+                    wan_msgs: report.wan_msgs,
+                    bytes: report.bytes,
+                    cp_compute_s: report.mean_sojourn_s,
+                    cp_send_s: report.p99_sojourn_s,
+                    cp_wan_msgs: report.slo_miss as u64,
+                    wait_s: report.total_wait_s,
+                    phases: Vec::new(),
+                    fit: grid_tsqr::obs::ledger::ModelCoeffs {
+                        beta_s: 0.0,
+                        alpha_s_per_word: 0.0,
+                        gamma_s_per_flop: 0.0,
+                        rel_residual: 0.0,
+                    },
+                    env: grid_tsqr::obs::ledger::EnvFingerprint::current(),
+                };
+                let seq = append_entry(path, entry)?;
+                out.push_str(&format!("ledger: entry {seq} appended to {}\n", path.display()));
+            }
+        }
+        if policies.len() > 1 {
+            out.push_str("\nsummary (same seeded trace, one line per policy):\n");
+            for &policy in &policies {
+                let cfg = ServeConfig { policy, ..base.clone() };
+                let report =
+                    PolicyReport::from_outcome(&grid_tsqr::serve::serve(&catalog, &cfg));
+                out.push_str(&format!("  {}\n", report.summary_line()));
+            }
         }
         return Ok(out);
     }
@@ -1128,6 +1329,38 @@ fn run() -> Result<String, String> {
                 if !rep.proves_determinism() {
                     bad.push(format!("explore-tsqr-p8:\n{}", rep.render()));
                 }
+            }
+
+            // --- Serving-layer scenarios (docs/serving.md): the summary
+            // lines of the four policies plus a batched same-shape burst on
+            // one seeded trace. Structural invariants of the deterministic
+            // serving engine, pinned like every other line.
+            {
+                let catalog = grid_tsqr::qcg::ResourceCatalog::grid5000();
+                let base = ServeConfig {
+                    requests: 30,
+                    load: 1.5,
+                    seed: 7,
+                    ..Default::default()
+                };
+                for policy in ServePolicy::all() {
+                    let cfg = ServeConfig { policy, ..base.clone() };
+                    let r =
+                        PolicyReport::from_outcome(&grid_tsqr::serve::serve(&catalog, &cfg));
+                    lines.push(format!(
+                        "{:<22} {}",
+                        format!("serve-{}", policy.label()),
+                        r.summary_line()
+                    ));
+                }
+                let cfg = ServeConfig {
+                    batch: true,
+                    single_shape: Some(3),
+                    load: 3.0,
+                    ..base
+                };
+                let r = PolicyReport::from_outcome(&grid_tsqr::serve::serve(&catalog, &cfg));
+                lines.push(format!("{:<22} {}", "serve-fifo-batch", r.summary_line()));
             }
 
             if !bad.is_empty() {

@@ -18,6 +18,9 @@
 //!   the ScaLAPACK-style baseline, CAQR, and the performance model.
 //! * [`obs`] — cross-run observability: the append-only experiment ledger
 //!   and the trend/anomaly report behind `grid-tsqr report`.
+//! * [`serve`] — deterministic multi-tenant serving layer: admission,
+//!   queueing, batching and contention-aware scheduling of concurrent
+//!   TSQR jobs over one grid (`grid-tsqr serve`, docs/serving.md).
 
 pub use tsqr_core as core;
 pub use tsqr_gridmpi as gridmpi;
@@ -25,3 +28,4 @@ pub use tsqr_linalg as linalg;
 pub use tsqr_netsim as netsim;
 pub use tsqr_obs as obs;
 pub use tsqr_qcg as qcg;
+pub use tsqr_serve as serve;

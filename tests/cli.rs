@@ -92,8 +92,71 @@ fn analyze_scalapack_classifies_waits() {
 }
 
 #[test]
+fn serve_scores_every_policy_on_one_trace() {
+    let out = cli()
+        .args(["serve", "--policy", "all", "--requests", "25", "--load", "1.5", "--seed", "7"])
+        .output()
+        .expect("run cli");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    for section in ["policy fifo", "policy sjf", "policy edf", "policy fair", "summary"] {
+        assert!(text.contains(section), "missing {section:?} in:\n{text}");
+    }
+}
+
+#[test]
+fn serve_batching_coalesces_a_same_shape_burst() {
+    let base = [
+        "serve", "--policy", "fifo", "--requests", "20", "--load", "4.0", "--shape", "3",
+        "--seed", "9",
+    ];
+    let run = |batch: bool| {
+        let mut args: Vec<&str> = base.to_vec();
+        if batch {
+            args.push("--batch");
+        }
+        let out = cli().args(&args).output().expect("run cli");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let plain = run(false);
+    let batched = run(true);
+    let wan = |text: &str| -> u64 {
+        text.lines()
+            .find(|l| l.starts_with("dispatches"))
+            .and_then(|l| l.split_whitespace().nth(5))
+            .and_then(|v| v.parse().ok())
+            .expect("dispatches line carries the wan count")
+    };
+    assert!(
+        wan(&batched) < wan(&plain),
+        "batching must cut WAN messages: {} vs {}",
+        wan(&batched),
+        wan(&plain)
+    );
+}
+
+#[test]
+fn serve_sweep_renders_the_knee_table() {
+    let out = cli()
+        .args(["serve", "--sweep", "0.5,2.0", "--requests", "15"])
+        .output()
+        .expect("run cli");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("load sweep"), "{text}");
+    assert!(text.contains("p99 s"), "{text}");
+}
+
+#[test]
 fn bad_input_exits_nonzero_with_usage() {
-    for args in [vec!["bogus"], vec!["tsqr", "--sites", "9"], vec!["tsqr", "--m", "zzz"]] {
+    for args in [
+        vec!["bogus"],
+        vec!["tsqr", "--sites", "9"],
+        vec!["tsqr", "--m", "zzz"],
+        vec!["serve", "--policy", "lifo"],
+        vec!["serve", "--shape", "9"],
+    ] {
         let out = cli().args(&args).output().expect("run cli");
         assert!(!out.status.success(), "args: {args:?}");
         let err = String::from_utf8(out.stderr).unwrap();
