@@ -230,12 +230,67 @@ pub struct Series {
     pub points: Vec<(u64, f64)>,
 }
 
+/// The results directory for [`save_series_tsv`]: the
+/// `GRID_TSQR_RESULTS` environment variable, unless a test has
+/// installed a scoped [`results_override`] guard.
+fn results_dir() -> Option<std::ffi::OsString> {
+    #[cfg(test)]
+    if let Some(dir) = results_override::current() {
+        return Some(dir.into());
+    }
+    std::env::var_os("GRID_TSQR_RESULTS")
+}
+
+/// Scoped, serialized test-only override of the results directory.
+///
+/// Mutating a process-global environment variable from tests is a race
+/// between threads (which is exactly why `std::env::set_var` became
+/// `unsafe`); this guard replaces the old `unsafe { set_var }` /
+/// `remove_var` pair, which was the workspace's last `unsafe` block.
+/// [`ResultsDirGuard::set`] holds a process-wide mutex for the guard's
+/// lifetime, so concurrent tests serialize instead of clobbering each
+/// other, and the override is cleared on drop — panic included.
+#[cfg(test)]
+pub(crate) mod results_override {
+    use std::path::PathBuf;
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    static SERIALIZE: Mutex<()> = Mutex::new(());
+    static VALUE: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+    /// Holds the override (and the serialization lock) until dropped.
+    pub struct ResultsDirGuard {
+        _serial: MutexGuard<'static, ()>,
+    }
+
+    impl ResultsDirGuard {
+        /// Installs `dir` as the results directory, blocking until any
+        /// other guard-holding test has finished.
+        pub fn set(dir: PathBuf) -> Self {
+            let serial = SERIALIZE.lock().unwrap_or_else(PoisonError::into_inner);
+            *VALUE.lock().unwrap_or_else(PoisonError::into_inner) = Some(dir);
+            ResultsDirGuard { _serial: serial }
+        }
+    }
+
+    impl Drop for ResultsDirGuard {
+        fn drop(&mut self) {
+            *VALUE.lock().unwrap_or_else(PoisonError::into_inner) = None;
+        }
+    }
+
+    /// The override currently in force, if any.
+    pub fn current() -> Option<PathBuf> {
+        VALUE.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+}
+
 /// Writes a series table as TSV into the directory named by the
 /// `GRID_TSQR_RESULTS` environment variable (no-op when unset). The file
 /// name is a slug of the title; the format is the same `x  series…` table
 /// the binaries print, ready for gnuplot or pandas.
 pub fn save_series_tsv(title: &str, x_label: &str, series: &[Series]) -> std::io::Result<()> {
-    let Some(dir) = std::env::var_os("GRID_TSQR_RESULTS") else {
+    let Some(dir) = results_dir() else {
         return Ok(());
     };
     std::fs::create_dir_all(&dir)?;
@@ -375,8 +430,7 @@ mod tests {
     #[test]
     fn save_series_tsv_round_trip() {
         let dir = std::env::temp_dir().join(format!("tsqr_results_{}", std::process::id()));
-        // SAFETY: tests in this module do not race on this variable.
-        unsafe { std::env::set_var("GRID_TSQR_RESULTS", &dir) };
+        let _guard = results_override::ResultsDirGuard::set(dir.clone());
         let series = vec![
             Series { label: "a".into(), points: vec![(1, 1.5), (2, 2.5)] },
             Series { label: "b".into(), points: vec![(1, 3.0), (2, 4.0)] },
@@ -387,7 +441,7 @@ mod tests {
         assert_eq!(lines[0], "M\ta\tb");
         assert_eq!(lines[1], "1\t1.5000\t3.0000");
         assert_eq!(lines[2], "2\t2.5000\t4.0000");
-        unsafe { std::env::remove_var("GRID_TSQR_RESULTS") };
+        drop(_guard);
         let _ = std::fs::remove_dir_all(dir);
     }
 

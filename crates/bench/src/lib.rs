@@ -38,6 +38,7 @@
 //! paper's measured constants); see `calib` for the one fitted constant
 //! (the domain-kernel efficiency curve η(N)).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod calib;

@@ -81,6 +81,7 @@
 // triangular/banded access patterns (row `j`, columns `j+1..`) read more
 // clearly as index arithmetic than as iterator chains.
 #![allow(clippy::needless_range_loop)]
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod calu;

@@ -46,6 +46,7 @@
 //!   metrics registry), per-link-class utilization timelines and a
 //!   rank×rank communication matrix; surfaced as `grid-tsqr analyze`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chrome;

@@ -574,6 +574,11 @@ impl Process {
     /// a tombstone from `src` itself ends the wait at the virtual-time
     /// detection deadline with a typed error (see
     /// [`Process::failure_deadline`]).
+    // archlint: allow(taint) — the `.recv_timeout(` below is the
+    // simulator's wall-clock deadlock safety net: virtual time never
+    // observes the reading; on expiry the run *fails* with
+    // CommError::Timeout instead of hanging CI. Same exception as the
+    // commlint `wall-clock` allow entry for this file.
     pub fn recv<M: WirePayload>(&mut self, src: usize, tag: u32) -> Result<M, CommError> {
         assert!(src < self.size, "recv from nonexistent rank {src}");
         self.check_alive()?;
@@ -644,6 +649,9 @@ impl Process {
     /// race to catch (see `docs/static-analysis.md`). No shipped rank
     /// program uses it; the `commlint` wildcard-recv rule denies it
     /// outside test code.
+    // archlint: allow(taint) — same wall-clock safety-net exception as
+    // `recv` above; the *wildcard* nondeterminism of this primitive is
+    // policed separately (commlint wildcard-recv + the HB analyzer).
     pub fn recv_any<M: WirePayload>(&mut self, tag: u32) -> Result<(usize, M), CommError> {
         self.check_alive()?;
         // Drain the channel first so already-arrived messages compete in

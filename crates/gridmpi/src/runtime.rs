@@ -284,6 +284,11 @@ impl Runtime {
     ///
     /// The program receives the rank's [`Process`] handle and the *world*
     /// communicator spanning all ranks.
+    // archlint: allow(taint) — this is the one sanctioned thread spawn:
+    // ranks run as OS threads, but every result is a function of the
+    // virtual-time cost model alone. That schedule-independence is
+    // *proved*, not assumed: the happens-before gate, the DPOR-lite
+    // explorer and the TSan CI job all police this boundary.
     pub fn run<T, F>(&self, program: F) -> RunReport<T>
     where
         T: Send,

@@ -22,6 +22,7 @@
 //! linkcheck [--root <dir>] [files...]
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::collections::BTreeMap;

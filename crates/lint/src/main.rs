@@ -23,27 +23,31 @@
 //! The scanner strips comments and string literals first and truncates
 //! each file at its trailing `#[cfg(test)]` module (repo convention), so
 //! only shipped code is linted. Findings are suppressed by
-//! `scripts/commlint.allow` lines of the form `rule path-substring`.
+//! `scripts/commlint.allow` lines of the form `rule path-substring`; an
+//! allow entry that suppresses nothing is itself a finding
+//! (**stale-allow**), so dead exceptions cannot rot silently.
 //!
-//! This tool is intentionally `syn`-free: the workspace builds offline
-//! with no external dependencies, so the lint is a line-level token
-//! scanner. It is conservative where it must guess.
+//! This is the line-level lint; `archlint` (same crate) runs the
+//! workspace-level passes — crate layering, transitive
+//! nondeterminism-taint, and the extracted message-flow model that
+//! supersedes this tool's per-file pairing heuristic with real
+//! call-site extraction. The shared machinery lives in the `tsqr_lint`
+//! library.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
-use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-/// One lint hit.
-#[derive(Debug, Clone)]
-struct Finding {
-    rule: &'static str,
-    path: String,
-    line: usize,
-    message: String,
-}
+use tsqr_lint::protocol::{load_protocol, ProtocolFile};
+use tsqr_lint::scan::{
+    collect_rs, is_nonshipped, load_allowlist, partition_findings, stale_allow_findings,
+    strip_noncode, truncate_at_test_module, Finding,
+};
+
+const ALLOW_REL: &str = "scripts/commlint.allow";
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
@@ -64,7 +68,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let allow = load_allowlist(&root.join("scripts/commlint.allow"));
+    let allow = load_allowlist(&root.join(ALLOW_REL));
     let protocol = load_protocol(&root.join("scripts/commlint.protocol"));
 
     let mut files = Vec::new();
@@ -76,10 +80,10 @@ fn main() -> ExitCode {
     let mut scanned = 0usize;
     for f in &files {
         let rel = f.strip_prefix(&root).unwrap_or(f).to_string_lossy().replace('\\', "/");
-        if rel.contains("/tests/") || rel.contains("/benches/") || rel.contains("/examples/") {
+        if is_nonshipped(&rel) {
             continue;
         }
-        let Ok(raw) = fs::read_to_string(f) else { continue };
+        let Ok(raw) = std::fs::read_to_string(f) else { continue };
         scanned += 1;
         let code = strip_noncode(&raw);
         let code = truncate_at_test_module(&code);
@@ -89,12 +93,12 @@ fn main() -> ExitCode {
         lint_wall_clock(&rel, code, &mut findings);
         lint_hashmap_iter(&rel, code, &mut findings);
         lint_wildcard_recv(&rel, code, &mut findings);
-        if let Some(expected) = protocol.iter().find(|p| p.path == rel) {
+        if let Some(expected) = protocol.files.iter().find(|p| p.path == rel) {
             lint_tag_protocol(&rel, code, expected, &mut findings);
         }
     }
     // Protocol files that vanished are a protocol violation too.
-    for p in &protocol {
+    for p in &protocol.files {
         if !files.iter().any(|f| {
             f.strip_prefix(&root).unwrap_or(f).to_string_lossy().replace('\\', "/") == p.path
         }) {
@@ -107,11 +111,11 @@ fn main() -> ExitCode {
         }
     }
 
-    let (kept, suppressed): (Vec<_>, Vec<_>) =
-        findings.into_iter().partition(|f| !allow.iter().any(|a| a.matches(f)));
+    let (mut kept, suppressed) = partition_findings(findings, &allow);
+    kept.extend(stale_allow_findings(&allow, &suppressed, ALLOW_REL));
 
     for f in &kept {
-        println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+        println!("{}", f.render());
     }
     println!(
         "commlint: {} file(s) scanned, {} finding(s), {} suppressed by allowlist",
@@ -245,14 +249,6 @@ fn lint_wildcard_recv(path: &str, code: &str, out: &mut Vec<Finding>) {
     }
 }
 
-/// A declared protocol entry for one file.
-#[derive(Debug, Clone)]
-struct ProtocolFile {
-    path: String,
-    /// `(tag name, normalized value)` pairs.
-    tags: Vec<(String, String)>,
-}
-
 fn lint_tag_protocol(path: &str, code: &str, expected: &ProtocolFile, out: &mut Vec<Finding>) {
     // Extract `const TAG_*: u32 = VALUE;` declarations.
     let mut declared: Vec<(String, String, usize)> = Vec::new();
@@ -304,6 +300,9 @@ fn lint_tag_protocol(path: &str, code: &str, expected: &ProtocolFile, out: &mut 
         // Pairing: the tag must be used on a send side and a receive
         // side (exchange counts as both). Look back a short window from
         // each use for the call name, so multi-line calls still match.
+        // (archlint's message-flow model does this properly, from
+        // balanced-paren call-site extraction; this windowed heuristic
+        // stays as the fast line-level first gate.)
         let (mut send_side, mut recv_side) = (false, false);
         let bytes = code.as_bytes();
         let mut from = 0;
@@ -358,243 +357,9 @@ fn lint_tag_protocol(path: &str, code: &str, expected: &ProtocolFile, out: &mut 
     }
 }
 
-// ------------------------------------------------------------ scaffolding
-
-/// One allowlist entry: suppresses `rule` findings in paths containing
-/// `path_part`.
-#[derive(Debug, Clone)]
-struct Allow {
-    rule: String,
-    path_part: String,
-}
-
-impl Allow {
-    fn matches(&self, f: &Finding) -> bool {
-        f.rule == self.rule && f.path.contains(&self.path_part)
-    }
-}
-
-fn load_allowlist(path: &Path) -> Vec<Allow> {
-    let Ok(text) = fs::read_to_string(path) else { return Vec::new() };
-    text.lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .filter_map(|l| {
-            let mut it = l.split_whitespace();
-            Some(Allow { rule: it.next()?.to_string(), path_part: it.next()?.to_string() })
-        })
-        .collect()
-}
-
-fn load_protocol(path: &Path) -> Vec<ProtocolFile> {
-    let Ok(text) = fs::read_to_string(path) else { return Vec::new() };
-    let mut out: Vec<ProtocolFile> = Vec::new();
-    for l in text.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with('#')) {
-        let mut it = l.split_whitespace();
-        let (Some(file), Some(tag), Some(value)) = (it.next(), it.next(), it.next()) else {
-            continue;
-        };
-        let value = value.chars().filter(|c| *c != '_').collect::<String>().to_lowercase();
-        match out.iter_mut().find(|p| p.path == file) {
-            Some(p) => p.tags.push((tag.to_string(), value)),
-            None => out.push(ProtocolFile {
-                path: file.to_string(),
-                tags: vec![(tag.to_string(), value)],
-            }),
-        }
-    }
-    out
-}
-
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = fs::read_dir(dir) else { return };
-    for e in entries.flatten() {
-        let p = e.path();
-        if p.is_dir() {
-            if p.file_name().is_some_and(|n| n == "target") {
-                continue;
-            }
-            collect_rs(&p, out);
-        } else if p.extension().is_some_and(|x| x == "rs") {
-            out.push(p);
-        }
-    }
-}
-
-/// Replaces comments, string literals and char literals with spaces
-/// (newlines preserved, so line numbers survive).
-fn strip_noncode(src: &str) -> String {
-    #[derive(PartialEq)]
-    enum St {
-        Code,
-        Line,
-        Block(u32),
-        Str,
-        RawStr(usize),
-        Char,
-    }
-    let b: Vec<char> = src.chars().collect();
-    let mut out = String::with_capacity(src.len());
-    let mut st = St::Code;
-    let mut i = 0;
-    while i < b.len() {
-        let c = b[i];
-        let next = b.get(i + 1).copied();
-        match st {
-            St::Code => {
-                if c == '/' && next == Some('/') {
-                    st = St::Line;
-                    out.push_str("  ");
-                    i += 2;
-                } else if c == '/' && next == Some('*') {
-                    st = St::Block(1);
-                    out.push_str("  ");
-                    i += 2;
-                } else if c == 'r' && (next == Some('"') || next == Some('#')) {
-                    // Raw string r"…" / r#"…"# / r##"…"## …
-                    let mut hashes = 0;
-                    let mut j = i + 1;
-                    while b.get(j) == Some(&'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if b.get(j) == Some(&'"') {
-                        st = St::RawStr(hashes);
-                        for _ in i..=j {
-                            out.push(' ');
-                        }
-                        i = j + 1;
-                    } else {
-                        out.push(c);
-                        i += 1;
-                    }
-                } else if c == '"' {
-                    st = St::Str;
-                    out.push(' ');
-                    i += 1;
-                } else if c == '\'' {
-                    // Lifetime or char literal?
-                    let is_char = match next {
-                        Some('\\') => true,
-                        Some(_) => b.get(i + 2) == Some(&'\''),
-                        None => false,
-                    };
-                    if is_char {
-                        st = St::Char;
-                        out.push(' ');
-                        i += 1;
-                    } else {
-                        out.push(c);
-                        i += 1;
-                    }
-                } else {
-                    out.push(c);
-                    i += 1;
-                }
-            }
-            St::Line => {
-                if c == '\n' {
-                    st = St::Code;
-                    out.push('\n');
-                } else {
-                    out.push(' ');
-                }
-                i += 1;
-            }
-            St::Block(depth) => {
-                if c == '*' && next == Some('/') {
-                    st = if depth == 1 { St::Code } else { St::Block(depth - 1) };
-                    out.push_str("  ");
-                    i += 2;
-                } else if c == '/' && next == Some('*') {
-                    st = St::Block(depth + 1);
-                    out.push_str("  ");
-                    i += 2;
-                } else {
-                    out.push(if c == '\n' { '\n' } else { ' ' });
-                    i += 1;
-                }
-            }
-            St::Str => {
-                if c == '\\' {
-                    out.push_str("  ");
-                    i += 2;
-                } else if c == '"' {
-                    st = St::Code;
-                    out.push(' ');
-                    i += 1;
-                } else {
-                    out.push(if c == '\n' { '\n' } else { ' ' });
-                    i += 1;
-                }
-            }
-            St::RawStr(hashes) => {
-                if c == '"' {
-                    let mut j = i + 1;
-                    let mut n = 0;
-                    while n < hashes && b.get(j) == Some(&'#') {
-                        n += 1;
-                        j += 1;
-                    }
-                    if n == hashes {
-                        st = St::Code;
-                        for _ in i..j {
-                            out.push(' ');
-                        }
-                        i = j;
-                        continue;
-                    }
-                }
-                out.push(if c == '\n' { '\n' } else { ' ' });
-                i += 1;
-            }
-            St::Char => {
-                if c == '\\' {
-                    out.push_str("  ");
-                    i += 2;
-                } else if c == '\'' {
-                    st = St::Code;
-                    out.push(' ');
-                    i += 1;
-                } else {
-                    out.push(' ');
-                    i += 1;
-                }
-            }
-        }
-    }
-    out
-}
-
-/// Cuts the file at its trailing `#[cfg(test)]` module (repo convention:
-/// unit tests live in one `mod tests` at the bottom).
-fn truncate_at_test_module(code: &str) -> &str {
-    match code.find("#[cfg(test)]") {
-        Some(i) => &code[..i],
-        None => code,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn stripper_preserves_lines_and_drops_strings() {
-        let src = "let a = \"Instant::now\"; // Instant::now\nlet b = 1;\n";
-        let s = strip_noncode(src);
-        assert_eq!(s.lines().count(), src.lines().count());
-        assert!(!s.contains("Instant::now"));
-        assert!(s.contains("let b = 1;"));
-    }
-
-    #[test]
-    fn stripper_handles_raw_strings_and_chars() {
-        let src = "let r = r#\"HashMap \"quoted\" inside\"#; let c = '\\n'; let l: &'static str;";
-        let s = strip_noncode(src);
-        assert!(!s.contains("HashMap"));
-        assert!(s.contains("&'static str"));
-    }
 
     #[test]
     fn wall_clock_rule_fires() {
@@ -641,11 +406,5 @@ mod tests {
         assert!(f.iter().any(|x| x.message.contains("TAG_B") && x.message.contains("1002")));
         assert!(f.iter().any(|x| x.message.contains("unpaired")));
         assert!(!f.iter().any(|x| x.message.contains("`TAG_A`")), "{f:?}");
-    }
-
-    #[test]
-    fn truncates_at_test_module() {
-        let code = "fn a() {}\n#[cfg(test)]\nmod tests { Instant::now; }\n";
-        assert!(!truncate_at_test_module(code).contains("Instant"));
     }
 }

@@ -1,0 +1,6 @@
+//! Seeded violation: this layer-0 crate declares a dependency on the
+//! layer-1 crate above it (upward manifest edge).
+
+pub fn base() -> u64 {
+    1
+}

@@ -1,0 +1,5 @@
+//! Innocent layer-0 crate; `top` uses it without declaring it.
+
+pub fn extra() -> u64 {
+    2
+}

@@ -1,0 +1,6 @@
+//! Seeded violation: uses `tsqr_extra` in source without declaring the
+//! dependency in Cargo.toml (undeclared inter-crate edge).
+
+pub fn top() -> u64 {
+    tsqr_base::base() + tsqr_extra::extra()
+}

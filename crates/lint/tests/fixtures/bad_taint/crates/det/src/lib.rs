@@ -1,0 +1,7 @@
+//! Deterministic (replay-critical) crate that indirectly reaches a
+//! wall-clock source through `tsqr_util::leaf` — nondet-taint must
+//! fire exactly once.
+
+pub fn entry() -> u64 {
+    tsqr_util::leaf()
+}

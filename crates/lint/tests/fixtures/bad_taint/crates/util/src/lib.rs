@@ -1,0 +1,8 @@
+//! Non-deterministic helper crate: the wall-clock read lives here, two
+//! calls away from the deterministic crate — the hole a line-level
+//! lint cannot see.
+
+pub fn leaf() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,24 @@
+//! Clean fixture crate: paired tag traffic plus a documented
+//! allow(taint) boundary. archlint must report zero findings here.
+
+pub const TAG_PING: u32 = 7;
+
+pub struct Port;
+
+impl Port {
+    pub fn send<T>(&mut self, _to: usize, _tag: u32, _v: &T) {}
+    pub fn recv<T: Default>(&mut self, _from: usize, _tag: u32) -> T {
+        T::default()
+    }
+}
+
+pub fn ping(p: &mut Port) -> f64 {
+    p.send(1, TAG_PING, &1.0f64);
+    p.recv(0, TAG_PING)
+}
+
+// archlint: allow(taint) — fixture analogue of the sanctioned rank
+// spawner: the thread spawn is a documented boundary.
+pub fn watchdog() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,6 @@
+//! Clean fixture crate one layer up: a declared, downward edge.
+
+pub fn run() -> f64 {
+    let mut p = tsqr_base::Port;
+    tsqr_base::ping(&mut p)
+}

@@ -1,0 +1,6 @@
+//! Perfectly clean crate: every allow entry in this fixture therefore
+//! suppresses nothing and must be reported as stale.
+
+pub fn id(x: u64) -> u64 {
+    x
+}

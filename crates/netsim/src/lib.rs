@@ -18,6 +18,7 @@
 //! crate depends on wall-clock time, which is what makes the simulation
 //! deterministic.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cost;

@@ -27,6 +27,7 @@
 //! should pull the simulation stack in just to serialize a record. The
 //! full schema is documented in `docs/observability.md` §9.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod json;

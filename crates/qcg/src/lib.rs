@@ -20,6 +20,7 @@
 //!   slowest member, the synchronous-algorithm convention of §V-A, and
 //!   booking only part of a node's processors when needed, §III).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod catalog;

@@ -29,6 +29,7 @@
 //! See `docs/serving.md` for the model, its assumptions, and the
 //! experiments the bench gate pins.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;

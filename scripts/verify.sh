@@ -3,8 +3,8 @@
 # denied, rustdoc with warnings denied (the gridmpi/netsim crates
 # enforce #![warn(missing_docs)]), the doctests on their own (they
 # exercise the public examples in the API docs, e.g. the
-# metrics-registry example), the commlint static scan, the commcheck
-# happens-before gate, and the fault-matrix smoke.
+# metrics-registry example), the commlint and archlint static scans,
+# the commcheck happens-before gate, and the fault-matrix smoke.
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -28,6 +28,11 @@ cargo test -q --doc --workspace
 echo "==> commlint (static determinism lint: wall clock, HashMap iteration,"
 echo "    wildcard receives, tag protocol; see docs/static-analysis.md)"
 cargo run --release -q -p tsqr-lint --bin commlint
+
+echo "==> archlint (workspace analyzer: crate layering vs scripts/layering.toml,"
+echo "    nondeterminism-taint propagation, message-flow model vs"
+echo "    scripts/archlint.model; see docs/static-analysis.md)"
+cargo run --release -q -p tsqr-lint --bin archlint
 
 echo "==> linkcheck (markdown links + anchors across README, EXPERIMENTS, docs/)"
 cargo run --release -q -p tsqr-lint --bin linkcheck

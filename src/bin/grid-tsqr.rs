@@ -89,6 +89,8 @@
 //! communication matrix, and the Eq. (1) least-squares fit with its
 //! residual. See `docs/observability.md` §8 ("Diagnosing a run").
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use grid_tsqr::core::domains::DomainLayout;

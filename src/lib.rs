@@ -22,6 +22,8 @@
 //!   queueing, batching and contention-aware scheduling of concurrent
 //!   TSQR jobs over one grid (`grid-tsqr serve`, docs/serving.md).
 
+#![forbid(unsafe_code)]
+
 pub use tsqr_core as core;
 pub use tsqr_gridmpi as gridmpi;
 pub use tsqr_linalg as linalg;
