@@ -26,7 +26,8 @@ use std::process::ExitCode;
 
 use tsqr_bench::figures::{
     all_figures, bench_records_full, compare_records, fault_bench_records_full,
-    parse_records, records_json, serve_bench_records_full, tune_bench_records_full,
+    parse_records, records_json, serve_bench_records_full, serve_fault_bench_records_full,
+    tune_bench_records_full,
 };
 use tsqr_obs::ledger::{append_entry, path_from_env, LedgerEntry};
 
@@ -88,6 +89,8 @@ fn main() -> ExitCode {
     tune_bench_records_full().into_iter().for_each(&mut take);
     eprintln!("# measuring serving-layer points (multi-tenant scheduler)...");
     serve_bench_records_full().into_iter().for_each(&mut take);
+    eprintln!("# measuring fault-injected serving points (chaos recovery)...");
+    serve_fault_bench_records_full().into_iter().for_each(&mut take);
     let doc = records_json(&measured);
 
     if let Some(path) = path_from_env() {

@@ -30,7 +30,8 @@ use tsqr_netsim::{FailureSchedule, VirtualTime};
 use tsqr_obs::ledger::{EnvFingerprint, LedgerEntry, ModelCoeffs, PhaseRow};
 use tsqr_qcg::ResourceCatalog;
 use tsqr_serve::{
-    serve as run_serve, Policy as ServePolicy, PolicyReport as ServeReport, ServeConfig,
+    serve as run_serve, BrownoutConfig, Policy as ServePolicy, PolicyReport as ServeReport,
+    RetryPolicy, ServeConfig,
 };
 
 use crate::calib;
@@ -746,6 +747,210 @@ pub fn serve_bench_records_full() -> Vec<(BenchRecord, LedgerEntry)> {
 /// Measures every serving gate point (records only).
 pub fn serve_bench_records() -> Vec<BenchRecord> {
     serve_bench_records_full().into_iter().map(|(r, _)| r).collect()
+}
+
+/// The fault-injected serving gate points (`serve-faults/<name>`), the
+/// same scenarios `grid-tsqr check` pins as COMMCHECK lines:
+///
+/// * `crash-ckpt` / `crash-restart` — a site crash at t = 0.1 s virtual,
+///   recovered with checkpointed WAN drain vs full restart;
+/// * `crash-replan` — the same crash under a 4-site-wide shape, forcing
+///   elastic re-planning onto the three survivors;
+/// * `wan-brownout` — a degraded-WAN window plus transient drain drops,
+///   with aggressive watermarks so admission browns out and sheds.
+pub fn serve_fault_points() -> Vec<(&'static str, ServeConfig)> {
+    let base = ServeConfig {
+        requests: 30,
+        load: 1.0,
+        seed: 7,
+        ..Default::default()
+    };
+    let crash = FailureSchedule::new(1).crash_site(2, VirtualTime::from_secs(0.1));
+    vec![
+        (
+            "crash-ckpt",
+            ServeConfig { faults: crash.clone(), ..base.clone() },
+        ),
+        (
+            "crash-restart",
+            ServeConfig {
+                faults: crash.clone(),
+                retry: RetryPolicy { checkpoint_drain: false, ..Default::default() },
+                ..base.clone()
+            },
+        ),
+        (
+            "crash-replan",
+            ServeConfig { faults: crash, single_shape: Some(3), ..base.clone() },
+        ),
+        (
+            "wan-brownout",
+            ServeConfig {
+                requests: 40,
+                load: 0.5,
+                faults: (0..6)
+                    .fold(FailureSchedule::new(1), |s, nth| s.drop_nth_message(0, 2, nth))
+                    .degrade_all_wan(
+                        VirtualTime::from_secs(0.05),
+                        VirtualTime::from_secs(5.0),
+                        1.0,
+                        8.0,
+                    ),
+                retry: RetryPolicy { backoff_base_s: 0.2, ..Default::default() },
+                brownout: BrownoutConfig {
+                    enter_watermark: 1,
+                    exit_watermark: 0,
+                    shed_slack: 0.0,
+                },
+                ..base
+            },
+        ),
+    ]
+}
+
+/// Measures one fault-injected serving point. Column reuse matches
+/// [`measure_serve_point_full`]; the ledger source is `"serve-faults"` so
+/// the dashboard can segregate chaos runs from clean serving runs.
+fn measure_serve_fault_point(
+    name: &str,
+    cfg: &ServeConfig,
+) -> (BenchRecord, LedgerEntry, ServeReport) {
+    let catalog = ResourceCatalog::grid5000();
+    let outcome = run_serve(&catalog, cfg);
+    let report = ServeReport::from_outcome(&outcome);
+    let total_rows: u64 = outcome.records.iter().map(|r| r.request.rows).sum();
+    let record = BenchRecord {
+        id: format!("serve-faults/{name}"),
+        sites: catalog.clusters.len(),
+        m: total_rows,
+        n: 64,
+        makespan_s: report.horizon_s,
+        gflops: report.gflops,
+        msgs: report.msgs,
+        wan_msgs: report.wan_msgs,
+        bytes: report.bytes,
+        cp_compute_s: report.mean_sojourn_s,
+        cp_send_s: report.p99_sojourn_s,
+        cp_wan_msgs: report.slo_miss as u64,
+        wait_s: report.total_wait_s,
+        model_residual: 0.0,
+    };
+    let entry = LedgerEntry {
+        seq: 0,
+        source: "serve-faults".into(),
+        scenario: format!("bench/serve-faults/{name}"),
+        sites: catalog.clusters.len(),
+        procs: catalog.total_procs(),
+        m: total_rows as usize,
+        n: 64,
+        tree: format!("serve-faults/{}", cfg.policy.label()),
+        makespan_s: report.horizon_s,
+        gflops: report.gflops,
+        msgs: report.msgs,
+        wan_msgs: report.wan_msgs,
+        bytes: report.bytes,
+        cp_compute_s: report.mean_sojourn_s,
+        cp_send_s: report.p99_sojourn_s,
+        cp_wan_msgs: report.slo_miss as u64,
+        wait_s: report.total_wait_s,
+        phases: Vec::new(),
+        fit: ModelCoeffs {
+            beta_s: 0.0,
+            alpha_s_per_word: 0.0,
+            gamma_s_per_flop: 0.0,
+            rel_residual: 0.0,
+        },
+        env: EnvFingerprint::current(),
+    };
+    (record, entry, report)
+}
+
+/// Measures every fault-injected serving gate point and asserts the
+/// recovery layer's headline claims on the freshly measured data:
+///
+/// * every crash scenario both faults *and* recovers (fault events and
+///   retried completions are nonzero, nothing fails permanently);
+/// * checkpointed drain beats full restart in mean sojourn on the same
+///   crash (the retry pays only the residual WAN drain);
+/// * the elastic re-plan scenario still completes every request even
+///   though its 4-site shape lost a site;
+/// * the degraded-WAN scenario actually browns out (sheds > 0, nonzero
+///   brownout seconds);
+/// * injecting faults is never free: each scenario's mean sojourn is
+///   strictly worse than its failure-free twin's;
+/// * a same-seed re-measure reproduces the records byte-identically.
+pub fn serve_fault_bench_records_full() -> Vec<(BenchRecord, LedgerEntry)> {
+    let points = serve_fault_points();
+    let all: Vec<(BenchRecord, LedgerEntry, ServeReport)> = points
+        .iter()
+        .map(|(name, cfg)| measure_serve_fault_point(name, cfg))
+        .collect();
+    let by = |name: &str| -> &ServeReport {
+        &all
+            .iter()
+            .find(|(r, _, _)| r.id == format!("serve-faults/{name}"))
+            .expect("fault gate point measured")
+            .2
+    };
+    for name in ["crash-ckpt", "crash-restart", "crash-replan"] {
+        let rep = by(name);
+        assert!(rep.fault_events > 0, "{name}: the scripted crash must fault someone");
+        assert!(rep.retried_completions > 0, "{name}: faulted jobs must recover via retry");
+        assert_eq!(rep.failed_permanent, 0, "{name}: the retry budget suffices here");
+    }
+    assert!(
+        by("crash-ckpt").mean_sojourn_s <= by("crash-restart").mean_sojourn_s,
+        "checkpointed drain must not lose to full restart ({} vs {})",
+        by("crash-ckpt").mean_sojourn_s,
+        by("crash-restart").mean_sojourn_s
+    );
+    let replan = by("crash-replan");
+    assert_eq!(
+        replan.completed, 30,
+        "elastic re-planning must complete every 4-site request on 3 survivors"
+    );
+    let brown = by("wan-brownout");
+    assert!(brown.shed > 0, "degraded WAN must drive brownout shedding");
+    assert!(brown.brownout_s > 0.0, "brownout must stay open for measurable virtual time");
+    for ((name, cfg), (_, _, faulty)) in points.iter().zip(&all) {
+        let clean = ServeReport::from_outcome(&run_serve(
+            &ResourceCatalog::grid5000(),
+            &ServeConfig { faults: FailureSchedule::default(), ..cfg.clone() },
+        ));
+        if *name == "crash-replan" {
+            // Re-planning is the one fault response that can come out
+            // net *faster*: the 3-survivor trees are narrower, so each
+            // drain crosses fewer contended WAN links. The structural
+            // claim is that the trees genuinely changed shape.
+            assert_ne!(
+                faulty.wan_msgs, clean.wan_msgs,
+                "{name}: surviving-site re-plans must change the WAN traffic pattern"
+            );
+        } else {
+            assert!(
+                faulty.mean_sojourn_s > clean.mean_sojourn_s,
+                "{name}: faults must cost sojourn time ({} vs clean {})",
+                faulty.mean_sojourn_s,
+                clean.mean_sojourn_s
+            );
+        }
+    }
+    let first: Vec<BenchRecord> = all.iter().map(|(r, _, _)| r.clone()).collect();
+    let replay: Vec<BenchRecord> = points
+        .iter()
+        .map(|(name, cfg)| measure_serve_fault_point(name, cfg).0)
+        .collect();
+    assert_eq!(
+        records_json(&first),
+        records_json(&replay),
+        "serve-fault records must replay byte-identically"
+    );
+    all.into_iter().map(|(r, e, _)| (r, e)).collect()
+}
+
+/// Measures every fault-injected serving gate point (records only).
+pub fn serve_fault_bench_records() -> Vec<BenchRecord> {
+    serve_fault_bench_records_full().into_iter().map(|(r, _)| r).collect()
 }
 
 /// Serializes records as the `BENCH_results.json` document (schema

@@ -51,8 +51,9 @@ pub use figures::{
     fault_bench_records_full, fault_points, figure_points, ledger_entry,
     measure_fault_clean, measure_fault_point, measure_fault_point_full, measure_point,
     measure_point_full, measure_serve_point_full, measure_tune_point_full, parse_records,
-    records_json, serve_bench_records, serve_bench_records_full, serve_points,
-    tune_bench_records_full, BenchRecord, FaultPoint, FigurePoint, ServePoint,
+    records_json, serve_bench_records, serve_bench_records_full, serve_fault_bench_records,
+    serve_fault_bench_records_full, serve_fault_points, serve_points, tune_bench_records_full,
+    BenchRecord, FaultPoint, FigurePoint, ServePoint,
 };
 pub use harness::{
     domain_options, dump_traced_point, grid_runtime, paper_m_values, print_series_table,

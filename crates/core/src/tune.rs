@@ -252,6 +252,36 @@ pub fn candidate_shapes(
     out
 }
 
+/// Prediction-only re-planning: searches the same candidate portfolio as
+/// [`autotune`] but needs no [`Runtime`] and skips the replay
+/// cross-check, returning the argmin `(name, shape, predicted)` directly.
+///
+/// This is the entry point for callers that must re-plant a reduction
+/// tree *mid-flight* — the serving engine's elastic re-allocation uses it
+/// when a site crash shrinks a job's surviving site set and the original
+/// `GridHierarchical` plan no longer matches the allocation. Ties resolve
+/// to the earliest candidate, exactly like [`autotune`], so both
+/// functions pick the same tree for the same inputs.
+pub fn plan_tree(
+    topo: &GridTopology,
+    model: &CostModel,
+    layout: &DomainLayout,
+    rate_flops: Option<f64>,
+    combine_rate_flops: Option<f64>,
+) -> (String, TreeShape, VirtualTime) {
+    let cluster_of = layout.clusters();
+    candidate_shapes(topo, model, layout, rate_flops, combine_rate_flops)
+        .into_iter()
+        .map(|(name, shape)| {
+            let tree = ReductionTree::build(&shape, layout.num_domains(), &cluster_of);
+            let predicted =
+                predict_makespan(topo, model, layout, &tree, rate_flops, combine_rate_flops);
+            (name, shape, predicted)
+        })
+        .min_by(|a, b| a.2.secs().total_cmp(&b.2.secs()))
+        .expect("portfolio is never empty")
+}
+
 /// Searches the candidate portfolio for the minimum-makespan reduction
 /// tree on `rt`'s topology, for an `m × n` factorization over
 /// single-process domains (`domains_per_cluster` = ranks per cluster).
@@ -417,6 +447,18 @@ mod tests {
         assert_eq!(outcome.table[0].name, "flat");
         assert_eq!(outcome.table[2].name, "grid");
         assert_eq!(outcome.domains, 32);
+    }
+
+    #[test]
+    fn plan_tree_agrees_with_autotune_without_a_runtime() {
+        let rt = mini_grid(3, 8);
+        let outcome = autotune(&rt, 1 << 17, 16, 8, None, None);
+        let layout = DomainLayout::build(rt.topology(), 1 << 17, 16, 8);
+        let (name, shape, predicted) =
+            plan_tree(rt.topology(), rt.cost_model(), &layout, None, None);
+        assert_eq!(name, outcome.best().name, "same argmin, same tie-break");
+        assert_eq!(shape, outcome.best().shape);
+        assert_eq!(predicted.secs().to_bits(), outcome.best().predicted.secs().to_bits());
     }
 
     #[test]

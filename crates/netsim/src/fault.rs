@@ -121,6 +121,9 @@ pub struct FailureSchedule {
     seed: u64,
     /// `(rank, crash time)` pairs; a rank appears at most once.
     crashes: Vec<(usize, VirtualTime)>,
+    /// `(site, crash time)` pairs for whole-cluster failures; a site
+    /// appears at most once. The serving layer's failure unit.
+    site_crashes: Vec<(usize, VirtualTime)>,
     /// Directed links that are down for the whole run.
     downed_links: Vec<(usize, usize)>,
     /// Precise drop rules.
@@ -143,6 +146,7 @@ impl FailureSchedule {
         FailureSchedule {
             seed,
             crashes: Vec::new(),
+            site_crashes: Vec::new(),
             downed_links: Vec::new(),
             drop_nth: Vec::new(),
             drop_prob: Vec::new(),
@@ -153,6 +157,7 @@ impl FailureSchedule {
     /// True when the schedule contains no failure of any kind.
     pub fn is_empty(&self) -> bool {
         self.crashes.is_empty()
+            && self.site_crashes.is_empty()
             && self.downed_links.is_empty()
             && self.drop_nth.is_empty()
             && self.drop_prob.is_empty()
@@ -178,6 +183,25 @@ impl FailureSchedule {
             "rank {rank} already has a crash scheduled"
         );
         self.crashes.push((rank, at));
+        self
+    }
+
+    /// Schedules catalog cluster `site` to disappear entirely at virtual
+    /// time `at` — the grid-level failure unit (a whole QCG site drops
+    /// off the grid, taking every node it hosts with it). Consumed by
+    /// the serving engine: leases on the dead site are killed, its slots
+    /// are written off, and it never hosts another allocation. Rank-level
+    /// crashes ([`FailureSchedule::crash_rank`]) are a separate,
+    /// unaffected axis used by the `gridmpi` runtime.
+    ///
+    /// # Panics
+    /// Panics if the site already has a crash scheduled.
+    pub fn crash_site(mut self, site: usize, at: VirtualTime) -> Self {
+        assert!(
+            self.site_crashes.iter().all(|&(s, _)| s != site),
+            "site {site} already has a crash scheduled"
+        );
+        self.site_crashes.push((site, at));
         self
     }
 
@@ -270,6 +294,55 @@ impl FailureSchedule {
         &self.crashes
     }
 
+    /// The virtual time at which `site` (a whole cluster) crashes, if
+    /// scheduled.
+    pub fn site_crash_time(&self, site: usize) -> Option<VirtualTime> {
+        self.site_crashes.iter().find(|&&(s, _)| s == site).map(|&(_, t)| t)
+    }
+
+    /// All scheduled site crashes as `(site, time)` pairs, in insertion
+    /// order.
+    pub fn site_crashes(&self) -> &[(usize, VirtualTime)] {
+        &self.site_crashes
+    }
+
+    /// True when `site` has crashed at or before `t`.
+    pub fn site_down(&self, site: usize, t: VirtualTime) -> bool {
+        self.site_crash_time(site).is_some_and(|at| at <= t)
+    }
+
+    /// The bandwidth divisor in effect on the WAN site pair `(a, b)` at
+    /// virtual time `t`: the product of every active degradation window
+    /// matching the pair (wildcard windows from
+    /// [`FailureSchedule::degrade_all_wan`] included), `1.0` when none.
+    /// Fluid-model integrators divide a flow's drain rate by it.
+    pub fn wan_divisor(&self, a: usize, b: usize, t: VirtualTime) -> f64 {
+        let class = LinkClass::InterCluster(a.min(b), a.max(b));
+        let mut div = 1.0;
+        for d in &self.degradations {
+            if d.applies(class, t) {
+                div *= d.bandwidth_divisor;
+            }
+        }
+        div
+    }
+
+    /// Every instant the schedule changes state — site-crash times and
+    /// degradation-window edges — sorted ascending, deduplicated.
+    /// Piecewise-constant event loops add these to their candidate event
+    /// set so rates stay constant within each advanced segment.
+    pub fn event_times(&self) -> Vec<VirtualTime> {
+        let mut times: Vec<VirtualTime> =
+            self.site_crashes.iter().map(|&(_, at)| at).collect();
+        for d in &self.degradations {
+            times.push(d.from);
+            times.push(d.until);
+        }
+        times.sort_by(|x, y| x.secs().total_cmp(&y.secs()));
+        times.dedup();
+        times
+    }
+
     /// True when the directed link `src → dst` is permanently down.
     pub fn link_down(&self, src: usize, dst: usize) -> bool {
         self.downed_links.contains(&(src, dst))
@@ -297,6 +370,13 @@ impl FailureSchedule {
     pub fn has_drop_rules(&self, src: usize, dst: usize) -> bool {
         self.drop_nth.iter().any(|d| d.src == src && d.dst == dst)
             || self.drop_prob.iter().any(|d| d.src == src && d.dst == dst)
+    }
+
+    /// True when the schedule carries *any* transient-drop rule at all —
+    /// consumers that pay per-message bookkeeping (e.g. the serve
+    /// engine's per-link drain counters) skip it entirely otherwise.
+    pub fn any_drop_rules(&self) -> bool {
+        !self.drop_nth.is_empty() || !self.drop_prob.is_empty()
     }
 
     /// The link parameters in effect for a link of class `class` with
@@ -394,6 +474,66 @@ mod tests {
         let _ = FailureSchedule::new(0)
             .crash_rank(1, VirtualTime::ZERO)
             .crash_rank(1, VirtualTime::from_secs(1.0));
+    }
+
+    #[test]
+    fn site_crashes_are_per_site_and_time_ordered_queries_work() {
+        let s = FailureSchedule::new(0)
+            .crash_site(1, VirtualTime::from_secs(0.5))
+            .crash_site(3, VirtualTime::from_secs(0.1));
+        assert_eq!(s.site_crash_time(1), Some(VirtualTime::from_secs(0.5)));
+        assert_eq!(s.site_crash_time(0), None);
+        assert!(!s.site_down(1, VirtualTime::from_secs(0.4)));
+        assert!(s.site_down(1, VirtualTime::from_secs(0.5)), "crash instant is inclusive");
+        assert!(s.site_down(3, VirtualTime::from_secs(0.2)));
+        assert!(!s.is_empty());
+        // Rank crashes are a separate axis.
+        assert_eq!(s.crash_time(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a crash")]
+    fn double_site_crash_rejected() {
+        let _ = FailureSchedule::new(0)
+            .crash_site(2, VirtualTime::ZERO)
+            .crash_site(2, VirtualTime::from_secs(1.0));
+    }
+
+    #[test]
+    fn wan_divisor_stacks_windows_and_respects_pairs() {
+        let s = FailureSchedule::new(0)
+            .degrade_all_wan(VirtualTime::ZERO, VirtualTime::from_secs(2.0), 1.0, 4.0)
+            .degrade_link(
+                LinkClass::InterCluster(0, 1),
+                VirtualTime::from_secs(1.0),
+                VirtualTime::from_secs(2.0),
+                1.0,
+                2.0,
+            );
+        // Only the wildcard applies before 1.0 s.
+        assert_eq!(s.wan_divisor(0, 1, VirtualTime::from_secs(0.5)), 4.0);
+        // Both windows stack multiplicatively inside [1, 2).
+        assert_eq!(s.wan_divisor(1, 0, VirtualTime::from_secs(1.5)), 8.0, "pair order canonical");
+        // The specific window misses other pairs.
+        assert_eq!(s.wan_divisor(2, 3, VirtualTime::from_secs(1.5)), 4.0);
+        // After every window: unit divisor.
+        assert_eq!(s.wan_divisor(0, 1, VirtualTime::from_secs(2.0)), 1.0);
+        // Empty schedule: exactly 1.0 everywhere.
+        assert_eq!(FailureSchedule::default().wan_divisor(0, 1, VirtualTime::ZERO), 1.0);
+    }
+
+    #[test]
+    fn event_times_are_sorted_and_deduplicated() {
+        let s = FailureSchedule::new(0)
+            .crash_site(2, VirtualTime::from_secs(1.0))
+            .degrade_all_wan(VirtualTime::from_secs(0.5), VirtualTime::from_secs(1.0), 2.0, 2.0);
+        let times = s.event_times();
+        assert_eq!(
+            times,
+            vec![VirtualTime::from_secs(0.5), VirtualTime::from_secs(1.0)],
+            "window end and crash coincide → one boundary"
+        );
+        assert!(FailureSchedule::default().event_times().is_empty());
     }
 
     #[test]

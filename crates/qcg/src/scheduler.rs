@@ -101,6 +101,20 @@ impl Allocation {
     pub fn release(&self, pool: &mut SlotPool) {
         pool.release(self);
     }
+
+    /// Returns only the nodes this allocation booked on catalog cluster
+    /// `site` — the failure path's partial release: when one of a job's
+    /// sites crashes mid-run, the engine writes the dead site off via
+    /// [`SlotPool::fail_site`] and hands back each *surviving* site with
+    /// this call, so the pool's leak panic still guards the whole path.
+    ///
+    /// # Panics
+    /// Panics when `site` is not part of this allocation, has already
+    /// been released, or is marked down in the pool (dead slots are
+    /// written off, never returned).
+    pub fn release_site(&self, pool: &mut SlotPool, site: usize) {
+        pool.release_site(self, site);
+    }
 }
 
 /// Node-level slot accounting over a [`ResourceCatalog`]: the mutable
@@ -121,13 +135,20 @@ impl Allocation {
 pub struct SlotPool {
     catalog: ResourceCatalog,
     free_nodes: Vec<usize>,
+    /// Nodes currently leased out per cluster (free + leased = physical,
+    /// except on downed clusters where leases are written off).
+    leased_nodes: Vec<usize>,
+    /// Clusters that have crashed ([`SlotPool::fail_site`]): zero free
+    /// capacity forever, and releases to them panic.
+    down: Vec<bool>,
 }
 
 impl SlotPool {
     /// A pool with every node of `catalog` free.
     pub fn new(catalog: ResourceCatalog) -> Self {
-        let free_nodes = catalog.clusters.iter().map(|c| c.nodes).collect();
-        SlotPool { catalog, free_nodes }
+        let free_nodes: Vec<usize> = catalog.clusters.iter().map(|c| c.nodes).collect();
+        let n = free_nodes.len();
+        SlotPool { catalog, free_nodes, leased_nodes: vec![0; n], down: vec![false; n] }
     }
 
     /// The underlying (full-capacity) catalog.
@@ -145,10 +166,57 @@ impl SlotPool {
         self.free_nodes.iter().sum()
     }
 
-    /// True when every node of every cluster is free (no outstanding
-    /// leases — the leak-free invariant after a full drain).
+    /// True when catalog cluster `c` has crashed.
+    pub fn site_down(&self, c: usize) -> bool {
+        self.down[c]
+    }
+
+    /// Clusters still alive.
+    pub fn up_sites(&self) -> usize {
+        self.down.iter().filter(|&&d| !d).count()
+    }
+
+    /// Marks catalog cluster `c` as crashed: its free capacity drops to
+    /// zero permanently and its outstanding leased nodes are written off
+    /// (the engine kills the affected jobs in the same event step and
+    /// releases only their *surviving* sites via
+    /// [`Allocation::release_site`]). Returns the written-off node count.
+    ///
+    /// # Panics
+    /// Panics on a double crash of the same cluster.
+    pub fn fail_site(&mut self, c: usize) -> usize {
+        assert!(!self.down[c], "cluster {} already failed", self.catalog.clusters[c].name);
+        self.down[c] = true;
+        self.free_nodes[c] = 0;
+        std::mem::take(&mut self.leased_nodes[c])
+    }
+
+    /// True when no lease is outstanding and every surviving cluster is
+    /// fully free (the leak-free invariant after a full drain; downed
+    /// clusters count as vacuously drained once their write-off is done).
     pub fn is_idle(&self) -> bool {
-        self.free_nodes.iter().zip(&self.catalog.clusters).all(|(&f, c)| f == c.nodes)
+        self.leased_nodes.iter().all(|&l| l == 0)
+            && self
+                .free_nodes
+                .iter()
+                .zip(&self.catalog.clusters)
+                .zip(&self.down)
+                .all(|((&f, c), &down)| if down { f == 0 } else { f == c.nodes })
+    }
+
+    /// True when `profile` would fit the *surviving* clusters at full
+    /// capacity — i.e. an allocation failure right now means "wait for a
+    /// release", not "this shape can never run again". The elastic
+    /// re-planner walks this predicate down from the requested site count
+    /// after a crash.
+    pub fn feasible_on_survivors(&self, profile: &JobProfile) -> bool {
+        let mut view = self.catalog.clone();
+        for (c, spec) in view.clusters.iter_mut().enumerate() {
+            if self.down[c] {
+                spec.nodes = 0;
+            }
+        }
+        allocate(&view, profile).is_ok()
     }
 
     /// Leases an allocation for `profile` out of the *free* capacity.
@@ -170,6 +238,7 @@ impl SlotPool {
         for &c in &alloc.cluster_of_group {
             debug_assert!(self.free_nodes[c] >= booked, "allocation exceeded free capacity");
             self.free_nodes[c] -= booked;
+            self.leased_nodes[c] += booked;
         }
         Ok(alloc)
     }
@@ -179,18 +248,47 @@ impl SlotPool {
     /// # Panics
     /// Panics when the return would push a cluster past its physical node
     /// count — i.e. on a double release or a release of a foreign
-    /// allocation, the two ways slot accounting can leak.
+    /// allocation, the two ways slot accounting can leak — or when any
+    /// of the allocation's clusters has crashed (the failure path must
+    /// release survivors one by one via [`Allocation::release_site`]).
     pub fn release(&mut self, alloc: &Allocation) {
-        let booked = alloc.nodes_per_group();
         for &c in &alloc.cluster_of_group {
-            self.free_nodes[c] += booked;
-            assert!(
-                self.free_nodes[c] <= self.catalog.clusters[c].nodes,
-                "slot-accounting leak: cluster {} freed past its {} physical nodes",
-                self.catalog.clusters[c].name,
-                self.catalog.clusters[c].nodes,
-            );
+            self.release_site(alloc, c);
         }
+    }
+
+    /// Returns only the nodes `alloc` booked on catalog cluster `site`.
+    /// See [`Allocation::release_site`] for the failure-path contract.
+    ///
+    /// # Panics
+    /// Panics when `site` is not part of `alloc`, is down, or when the
+    /// return would leak slots (double release).
+    pub fn release_site(&mut self, alloc: &Allocation, site: usize) {
+        assert!(
+            alloc.cluster_of_group.contains(&site),
+            "release_site: cluster {site} is not part of this allocation"
+        );
+        assert!(
+            !self.down[site],
+            "slot-accounting leak: releasing nodes to crashed cluster {}",
+            self.catalog.clusters[site].name,
+        );
+        let booked = alloc.nodes_per_group();
+        assert!(
+            self.leased_nodes[site] >= booked,
+            "slot-accounting leak: cluster {} has {} leased nodes, release of {} attempted",
+            self.catalog.clusters[site].name,
+            self.leased_nodes[site],
+            booked,
+        );
+        self.leased_nodes[site] -= booked;
+        self.free_nodes[site] += booked;
+        assert!(
+            self.free_nodes[site] <= self.catalog.clusters[site].nodes,
+            "slot-accounting leak: cluster {} freed past its {} physical nodes",
+            self.catalog.clusters[site].name,
+            self.catalog.clusters[site].nodes,
+        );
     }
 }
 
@@ -449,5 +547,54 @@ mod tests {
         let a = pool.allocate(&JobProfile::cluster_of_clusters(2, 16)).unwrap();
         a.release(&mut pool);
         a.release(&mut pool);
+    }
+
+    #[test]
+    fn mid_drain_site_crash_releases_survivors_and_pool_ends_empty() {
+        // The failure-path contract the serving engine relies on: a
+        // four-site job is mid-drain when one of its sites crashes. The
+        // dead site's slots are written off, each surviving site is
+        // handed back with release_site, and the pool ends the run
+        // "empty" (idle) with no leak panic anywhere.
+        let mut pool = SlotPool::new(g5k());
+        let a = pool.allocate(&JobProfile::cluster_of_clusters(4, 64)).unwrap();
+        let dead = a.cluster_of_group[1];
+        let written_off = pool.fail_site(dead);
+        assert_eq!(written_off, a.nodes_per_group(), "the lease's share is written off");
+        assert!(pool.site_down(dead));
+        assert_eq!(pool.up_sites(), 3);
+        assert_eq!(pool.free_nodes(dead), 0, "a dead site has no capacity");
+        for &c in &a.cluster_of_group {
+            if c != dead {
+                a.release_site(&mut pool, c);
+            }
+        }
+        assert!(pool.is_idle(), "survivors released + dead site written off = empty pool");
+        // The dead site never hosts again: a four-site profile is now
+        // infeasible even at full capacity, three sites still fit.
+        assert!(!pool.feasible_on_survivors(&JobProfile::cluster_of_clusters(4, 64)));
+        assert!(pool.feasible_on_survivors(&JobProfile::cluster_of_clusters(3, 64)));
+        let b = pool.allocate(&JobProfile::cluster_of_clusters(3, 64)).unwrap();
+        assert!(!b.cluster_of_group.contains(&dead));
+        b.release(&mut pool);
+        assert!(pool.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing nodes to crashed cluster")]
+    fn release_to_dead_site_panics() {
+        let mut pool = SlotPool::new(g5k());
+        let a = pool.allocate(&JobProfile::cluster_of_clusters(2, 64)).unwrap();
+        let dead = a.cluster_of_group[0];
+        pool.fail_site(dead);
+        a.release_site(&mut pool, dead);
+    }
+
+    #[test]
+    #[should_panic(expected = "already failed")]
+    fn double_site_failure_panics() {
+        let mut pool = SlotPool::new(g5k());
+        pool.fail_site(1);
+        pool.fail_site(1);
     }
 }

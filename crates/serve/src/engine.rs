@@ -37,19 +37,61 @@
 //! of `k(C − 1)` — which is the communication-optimal serving policy the
 //! CAQR line of work motivates. The shared finish time is attributed
 //! back to each member, whose sojourn still runs from its own arrival.
+//!
+//! # Failures
+//!
+//! The engine consults a seeded [`FailureSchedule`] — the same type the
+//! `gridmpi` fault machinery scripts — deterministically in virtual
+//! time:
+//!
+//! * **Site crashes** ([`FailureSchedule::crash_site`]): at the crash
+//!   instant the pool writes the dead cluster's slots off
+//!   ([`tsqr_qcg::SlotPool::fail_site`]), every running job leasing it
+//!   is killed (surviving sites released explicitly through
+//!   [`Allocation::release_site`] — the pool's leak panic polices the
+//!   whole path), and each member routes through the recovery layer
+//!   ([`crate::recovery`]): bounded retries with exponential virtual
+//!   backoff, a [`Checkpoint`] of the residual drain when the job was
+//!   already past its local phase, a typed [`JobFault`] either way.
+//! * **Elastic re-allocation**: when a crash leaves fewer surviving
+//!   clusters than a request's site count, dispatch shrinks the
+//!   profile to the widest feasible width and re-plants the reduction
+//!   tree over the survivors via `tsqr_core::tune::plan_tree` — the
+//!   request completes on a smaller grid instead of failing.
+//! * **WAN degradation windows** scale the fluid drain rates: a flow's
+//!   per-link share is divided by [`FailureSchedule::wan_divisor`], and
+//!   window edges join the candidate event set so rates stay piecewise
+//!   constant. **Per-flow drop rules** fire when a drain completes: the
+//!   in-flight R messages are lost, and the job retries (residual = the
+//!   full drain under checkpointing, everything under full restart).
+//! * **Brownout** ([`crate::recovery::Brownout`]): when retry pressure
+//!   crosses the enter watermark, arrivals with the loosest deadlines
+//!   are shed with an explicit [`Disposition::Shed`] until pressure
+//!   falls to the exit watermark (hysteresis).
+//!
+//! An **empty** schedule leaves every code path and every `f64` of the
+//! failure-free engine untouched — the serve records in
+//! `BENCH_baseline.json` pin that bit-compatibility. Faults never touch
+//! *correctness*: a completed request's R is a pure function of its
+//! payload (rows, cols, seed), and the self-healing TSQR recovers R
+//! bitwise (see `core/ft_tsqr.rs`), so retried/re-planted completions
+//! produce byte-identical factors — only latency and dispositions move.
 
 use std::collections::BTreeMap;
 
 use tsqr_core::domains::DomainLayout;
 use tsqr_core::model::useful_flops;
 use tsqr_core::tree::{ReductionTree, Step, TreeShape};
-use tsqr_core::tune::predict_makespan;
+use tsqr_core::tune::{plan_tree, predict_makespan};
 use tsqr_netsim::cost::LinkClass;
 use tsqr_netsim::occupancy::SharedLinks;
-use tsqr_netsim::VirtualTime;
+use tsqr_netsim::{FailureSchedule, VirtualTime};
 use tsqr_qcg::{Allocation, JobProfile, ResourceCatalog, SlotPool};
 
 use crate::policy::{BoundedQueue, Policy, QueuedJob};
+use crate::recovery::{
+    Brownout, BrownoutConfig, Checkpoint, FaultKind, JobFault, RecoveryAction, RetryPolicy,
+};
 use crate::workload::{self, Request, ShapeClass, WorkloadSpec};
 
 /// Drain remainders at or below this many wire-seconds count as zero —
@@ -78,6 +120,13 @@ pub struct ServeConfig {
     pub procs_per_site: usize,
     /// Pin every request to one menu shape (same-shape burst mode).
     pub single_shape: Option<usize>,
+    /// Scripted failures (site crashes, WAN degradation, drop rules).
+    /// Empty = the failure-free engine, bit for bit.
+    pub faults: FailureSchedule,
+    /// Retry/backoff/recovery-mode policy for faulted jobs.
+    pub retry: RetryPolicy,
+    /// Brownout watermarks for graceful degradation.
+    pub brownout: BrownoutConfig,
 }
 
 impl Default for ServeConfig {
@@ -92,6 +141,9 @@ impl Default for ServeConfig {
             tenants: 4,
             procs_per_site: 64,
             single_shape: None,
+            faults: FailureSchedule::default(),
+            retry: RetryPolicy::default(),
+            brownout: BrownoutConfig::default(),
         }
     }
 }
@@ -102,17 +154,31 @@ impl Default for ServeConfig {
 pub enum Disposition {
     /// Ran to completion (possibly inside a batch of `batch_size`).
     Completed {
-        /// Dispatch instant (allocation leased).
+        /// Dispatch instant of the *successful* try (allocation leased).
         start: VirtualTime,
         /// Completion instant.
         finish: VirtualTime,
         /// Requests sharing the stacked TSQR (1 = unbatched).
         batch_size: usize,
+        /// Tries consumed (1 = completed on the first dispatch; more =
+        /// the request was `Retried` through the recovery layer, see
+        /// [`ServeOutcome::faults`] for the per-try audit trail).
+        attempts: usize,
     },
     /// Bounced off the full admission queue.
     RejectedQueueFull,
     /// Shape cannot be allocated even on an idle grid.
     RejectedInfeasible,
+    /// Shed by brownout: admission was degrading gracefully under
+    /// sustained failure and this arrival's deadline was loose enough to
+    /// sacrifice (an explicit verdict, never a silent drop).
+    Shed,
+    /// Faulted on every allowed try, or no surviving site can host the
+    /// shape; the retry budget is spent.
+    FailedPermanent {
+        /// Tries consumed.
+        attempts: usize,
+    },
 }
 
 /// A request paired with its disposition.
@@ -151,6 +217,11 @@ pub struct ServeOutcome {
     /// timeline rendering (cluster bucket = local phases, WAN bucket =
     /// drain segments).
     pub busy_intervals: Vec<(usize, f64, f64)>,
+    /// Typed fault audit trail, one entry per affected request per fault,
+    /// in event order. Empty on a failure-free run.
+    pub faults: Vec<JobFault>,
+    /// Brownout episodes as `(start_s, end_s)` virtual intervals.
+    pub brownout_windows: Vec<(f64, f64)>,
 }
 
 /// Per-shape solo statistics: the SJF/calibration oracle.
@@ -182,16 +253,27 @@ struct RunJob {
     start: VirtualTime,
     phase1_end: VirtualTime,
     wan_rem_s: f64,
+    /// The full drain the job owes (what a dropped drain must resend).
+    wan_full_s: f64,
     in_phase2: bool,
 }
 
 /// Builds the analytic model of one job on its allocation: solo
-/// makespan, WAN residual and per-class message counts, all from the
-/// same `GridHierarchical` reduction the single-job pipeline uses.
-fn job_model(alloc: &Allocation, m: u64, n: usize, procs_per_site: usize) -> JobModel {
+/// makespan, WAN residual and per-class message counts. The failure-free
+/// path always passes [`TreeShape::GridHierarchical`] — the same
+/// reduction the single-job pipeline uses — while elastic re-planning
+/// passes whatever `tsqr_core::tune::plan_tree` picked over the
+/// surviving sites.
+fn job_model(
+    alloc: &Allocation,
+    m: u64,
+    n: usize,
+    procs_per_site: usize,
+    shape: &TreeShape,
+) -> JobModel {
     let layout = DomainLayout::build(&alloc.topology, m, n, procs_per_site);
     let cluster_of = layout.clusters();
-    let tree = ReductionTree::build(&TreeShape::GridHierarchical, layout.num_domains(), &cluster_of);
+    let tree = ReductionTree::build(shape, layout.num_domains(), &cluster_of);
     let rate = Some(alloc.effective_gflops_per_proc * 1e9);
     let t_base = predict_makespan(&alloc.topology, &alloc.network, &layout, &tree, rate, rate);
 
@@ -255,16 +337,83 @@ fn solo_shape(catalog: &ResourceCatalog, shape: ShapeClass, procs_per_site: usiz
     let profile = JobProfile::cluster_of_clusters(shape.sites, procs_per_site);
     let alloc = tsqr_qcg::allocate(catalog, &profile)
         .expect("every menu shape must fit an idle grid");
-    let model = job_model(&alloc, shape.rows, shape.cols, procs_per_site);
+    let model =
+        job_model(&alloc, shape.rows, shape.cols, procs_per_site, &TreeShape::GridHierarchical);
     (model.t_base_s, alloc.nodes_per_group() * alloc.num_groups())
+}
+
+/// Routes one faulted batch member through the recovery policy: a
+/// bounded-backoff retry when budget remains, a permanent failure
+/// otherwise. Emits the typed [`JobFault`] either way.
+#[allow(clippy::too_many_arguments)]
+fn route_fault(
+    memb: QueuedJob,
+    kind: FaultKind,
+    checkpoint: Option<Checkpoint>,
+    t: VirtualTime,
+    retry: &RetryPolicy,
+    solo_s: &[f64],
+    dispositions: &mut [Option<Disposition>],
+    faults: &mut Vec<JobFault>,
+    retry_wait: &mut Vec<(VirtualTime, QueuedJob)>,
+) {
+    if memb.attempts < retry.max_attempts {
+        let attempts = memb.attempts + 1;
+        let ready = t + VirtualTime::from_secs(retry.backoff_s(memb.attempts));
+        faults.push(JobFault {
+            at: t,
+            request: memb.id,
+            kind,
+            action: RecoveryAction::Retried { attempts, checkpointed: checkpoint.is_some() },
+        });
+        // SJF sees the true remaining work: the residual drain under a
+        // checkpoint, the full solo service under a restart.
+        let service_s = match checkpoint {
+            Some(cp) => cp.residual_wan_s,
+            None => solo_s[memb.shape],
+        };
+        retry_wait
+            .push((ready, QueuedJob { attempts, checkpoint, enqueued: ready, service_s, ..memb }));
+    } else {
+        faults.push(JobFault {
+            at: t,
+            request: memb.id,
+            kind,
+            action: RecoveryAction::FailedPermanent { attempts: memb.attempts },
+        });
+        dispositions[memb.id] = Some(Disposition::FailedPermanent { attempts: memb.attempts });
+    }
+}
+
+/// The fluid drain rate of a flow occupying `links` at instant `t`: its
+/// most contended link's share, divided by any active WAN degradation.
+/// With no degradation windows this is exactly [`SharedLinks::rate`]
+/// (bit for bit — the failure-free path never takes the divided branch).
+fn drain_rate(
+    shared: &SharedLinks,
+    links: &[(usize, usize)],
+    faults: &FailureSchedule,
+    t: VirtualTime,
+) -> f64 {
+    if faults.degradations().is_empty() {
+        return shared.rate(links);
+    }
+    let mut r = 1.0f64;
+    for &l in links {
+        let share = 1.0 / shared.flows_on(l).max(1) as f64;
+        r = r.min(share / faults.wan_divisor(l.0, l.1, t));
+    }
+    r
 }
 
 /// Runs one serving trace to completion and returns the full outcome.
 ///
 /// # Panics
 /// Panics if the loop ever wedges with admitted-but-unservable requests
-/// — that would be a silent drop, which the design forbids.
+/// — that would be a silent drop, which the design forbids — or when
+/// the slot pool ends the run with an outstanding lease (a leak).
 pub fn serve(catalog: &ResourceCatalog, cfg: &ServeConfig) -> ServeOutcome {
+    assert!(cfg.retry.max_attempts >= 1, "retry budget must allow at least the first try");
     let oracle = shape_oracle(catalog, cfg.procs_per_site);
     let total_nodes: usize = catalog.clusters.iter().map(|c| c.nodes).sum();
     let spec = WorkloadSpec {
@@ -294,51 +443,119 @@ pub fn serve(catalog: &ResourceCatalog, cfg: &ServeConfig) -> ServeOutcome {
     let mut wan_busy: BTreeMap<(usize, usize), f64> = BTreeMap::new();
     let mut busy_intervals: Vec<(usize, f64, f64)> = Vec::new();
 
+    // Failure machinery. All of it is inert (and allocation-free on the
+    // hot path) when the schedule is empty.
+    let mut site_crashes: Vec<(usize, VirtualTime)> = cfg.faults.site_crashes().to_vec();
+    site_crashes.sort_by(|a, b| a.1.secs().total_cmp(&b.1.secs()).then(a.0.cmp(&b.0)));
+    let mut next_crash = 0usize;
+    let boundaries = cfg.faults.event_times();
+    let mut next_boundary = 0usize;
+    let drops_armed = cfg.faults.any_drop_rules();
+    let mut drop_seq: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+    let mut retry_wait: Vec<(VirtualTime, QueuedJob)> = Vec::new();
+    let mut faults: Vec<JobFault> = Vec::new();
+    let mut brownout = Brownout::new(cfg.brownout.clone());
+    let mut brownout_open: Option<VirtualTime> = None;
+    let mut brownout_windows: Vec<(f64, f64)> = Vec::new();
+
     loop {
         // Dispatch as much as the policy and the free slots allow. No
-        // backfill: the first allocation failure stops the pass.
-        while let Some(pos) = queue.select(cfg.policy, &tenant_served) {
-            let (cols, sites) = {
+        // backfill: a contended head stops the pass. After a site crash
+        // the head may need *elastic re-allocation*: shrink to the
+        // widest width feasible on the survivors and re-plant the tree.
+        'dispatch: while let Some(pos) = queue.select(cfg.policy, &tenant_served) {
+            let (cols, sites_wanted) = {
                 let head = &queue.items()[pos];
                 (head.cols, head.sites)
             };
-            let profile = JobProfile::cluster_of_clusters(sites, cfg.procs_per_site);
-            let Ok(alloc) = pool.allocate(&profile) else {
-                break; // capacity contention: wait for a release
+            let mut planned: Option<Allocation> = None;
+            let mut width = sites_wanted.min(pool.up_sites());
+            while width >= 1 {
+                let profile = JobProfile::cluster_of_clusters(width, cfg.procs_per_site);
+                if !pool.feasible_on_survivors(&profile) {
+                    width -= 1;
+                    continue;
+                }
+                // Widest feasible width found; a failure here is pure
+                // capacity contention, not infeasibility.
+                planned = pool.allocate(&profile).ok();
+                break;
+            }
+            let Some(alloc) = planned else {
+                if width >= 1 {
+                    break 'dispatch; // contention: wait for a release
+                }
+                // No surviving width can host this shape — ever.
+                let j = queue.remove(pos);
+                dispositions[j.id] =
+                    Some(Disposition::FailedPermanent { attempts: j.attempts });
+                continue 'dispatch;
             };
-            let mut members = vec![queue.remove(pos)];
-            if cfg.batch {
-                members.extend(queue.drain_matching(cols, sites));
+            let replanned = width < sites_wanted;
+            let mut head = queue.remove(pos);
+            let checkpoint = head.checkpoint.take();
+            let mut members = vec![head];
+            if cfg.batch && checkpoint.is_none() {
+                members.extend(queue.drain_matching(cols, sites_wanted));
                 members.sort_by_key(|j| j.id);
             }
             let m: u64 = members.iter().map(|j| j.rows).sum();
-            let model = job_model(&alloc, m, cols, cfg.procs_per_site);
+            // Elastic re-allocation re-plants the reduction tree over the
+            // surviving site set via the autotuner's predictor; the
+            // failure-free path keeps the paper's grid-hierarchical tree.
+            let shape = if replanned {
+                let layout = DomainLayout::build(&alloc.topology, m, cols, cfg.procs_per_site);
+                let rate = Some(alloc.effective_gflops_per_proc * 1e9);
+                let (_, shape, _) = plan_tree(&alloc.topology, &alloc.network, &layout, rate, rate);
+                shape
+            } else {
+                TreeShape::GridHierarchical
+            };
+            let model = job_model(&alloc, m, cols, cfg.procs_per_site, &shape);
             dispatches += 1;
-            msgs += model.msgs;
-            wan_msgs += model.wan_msgs;
-            bytes += model.bytes;
-            flops += model.flops;
+            let (phase1_s, wan_rem_s, served_s);
+            if let Some(cp) = checkpoint {
+                // Checkpointed WAN drain: the local phase is already
+                // persisted as per-cluster partial R factors; this try
+                // only re-sends the residual wire-seconds, so only the
+                // root messages count and no useful flops recompute.
+                let r_bytes = 8 * (cols * (cols + 1) / 2) as u64;
+                msgs += model.wan_msgs;
+                wan_msgs += model.wan_msgs;
+                bytes += model.wan_msgs * r_bytes;
+                phase1_s = 0.0;
+                wan_rem_s = cp.residual_wan_s;
+                served_s = cp.residual_wan_s;
+            } else {
+                msgs += model.msgs;
+                wan_msgs += model.wan_msgs;
+                bytes += model.bytes;
+                flops += model.flops;
+                phase1_s = (model.t_base_s - model.wan_s).max(0.0);
+                wan_rem_s = model.wan_s;
+                served_s = model.t_base_s;
+            }
             let booked = (alloc.nodes_per_group() * alloc.num_groups()) as f64;
             for j in &members {
-                total_wait_s += (t - j.arrival).secs();
-                tenant_served[j.tenant] += model.t_base_s * booked / members.len() as f64;
+                total_wait_s += (t - j.enqueued).secs();
+                tenant_served[j.tenant] += served_s * booked / members.len() as f64;
             }
-            let phase1_s = (model.t_base_s - model.wan_s).max(0.0);
             let phase1_end = t + VirtualTime::from_secs(phase1_s);
-            busy_intervals.push((LinkClass::IntraCluster.bucket(), t.secs(), phase1_end.secs()));
             running.push(RunJob {
                 members,
                 alloc,
                 links: model.links,
                 start: t,
                 phase1_end,
-                wan_rem_s: model.wan_s,
+                wan_rem_s,
+                wan_full_s: model.wan_s,
                 in_phase2: false,
             });
         }
 
-        // Earliest next event: arrival, phase-1 end, or projected drain
-        // completion at the current (piecewise-constant) rates.
+        // Earliest next event: arrival, phase-1 end, projected drain
+        // completion at the current (piecewise-constant) rates, a retry
+        // backoff expiring, or the failure schedule changing state.
         let mut t_next: Option<VirtualTime> = None;
         let mut consider = |x: VirtualTime| {
             t_next = Some(match t_next {
@@ -355,18 +572,36 @@ pub fn serve(catalog: &ResourceCatalog, cfg: &ServeConfig) -> ServeOutcome {
             } else if job.wan_rem_s <= DRAIN_EPS_S {
                 consider(t);
             } else {
-                let rate = shared.rate(&job.links);
+                let rate = drain_rate(&shared, &job.links, &cfg.faults, t);
                 consider(t + VirtualTime::from_secs(job.wan_rem_s / rate));
             }
         }
+        for &(ready, _) in &retry_wait {
+            consider(ready);
+        }
+        // Schedule boundaries only matter while work remains; without
+        // this guard a long degradation window would stretch the horizon
+        // past the last completion for nothing.
+        while next_boundary < boundaries.len() && boundaries[next_boundary] <= t {
+            next_boundary += 1;
+        }
+        let work_pending = next_arr < requests.len()
+            || !queue.is_empty()
+            || !running.is_empty()
+            || !retry_wait.is_empty();
+        if work_pending && next_boundary < boundaries.len() {
+            consider(boundaries[next_boundary]);
+        }
         let Some(tn) = t_next else { break };
 
-        // Advance the fluid WAN drains across the segment.
+        // Advance the fluid WAN drains across the segment (rates are
+        // constant within it: joins/leaves happen at events and the
+        // degradation-window edges are themselves events).
         let dt = (tn - t).secs();
         if dt > 0.0 {
             for job in &mut running {
                 if job.in_phase2 {
-                    let rate = shared.rate(&job.links);
+                    let rate = drain_rate(&shared, &job.links, &cfg.faults, t);
                     job.wan_rem_s = (job.wan_rem_s - dt * rate).max(0.0);
                 }
             }
@@ -377,52 +612,186 @@ pub fn serve(catalog: &ResourceCatalog, cfg: &ServeConfig) -> ServeOutcome {
         }
         t = tn;
 
-        // Events at t, in fixed order. (a) local phases that finished
-        // enter the shared WAN drain:
+        // Events at t, in fixed order. (a) site crashes fire first —
+        // pessimistic: a job finishing at the crash instant still dies.
+        while next_crash < site_crashes.len() && site_crashes[next_crash].1 <= t {
+            let (site, _) = site_crashes[next_crash];
+            next_crash += 1;
+            pool.fail_site(site);
+            let mut still = Vec::with_capacity(running.len());
+            for job in running.drain(..) {
+                if !job.alloc.cluster_of_group.contains(&site) {
+                    still.push(job);
+                    continue;
+                }
+                // Kill the lease: leave the WAN, release each surviving
+                // site explicitly (the dead one was written off above).
+                if job.in_phase2 {
+                    shared.leave(&job.links);
+                }
+                for &c in &job.alloc.cluster_of_group {
+                    if c != site && !pool.site_down(c) {
+                        job.alloc.release_site(&mut pool, c);
+                    }
+                }
+                let p1_end = if job.in_phase2 { job.phase1_end } else { t };
+                busy_intervals.push((
+                    LinkClass::IntraCluster.bucket(),
+                    job.start.secs(),
+                    p1_end.secs(),
+                ));
+                // Checkpoint only exists once the local phase finished:
+                // the tiny per-cluster R factors are persisted at fault
+                // time, so the retry owes just the residual drain.
+                let checkpoint = if job.in_phase2 && cfg.retry.checkpoint_drain {
+                    Some(Checkpoint { residual_wan_s: job.wan_rem_s })
+                } else {
+                    None
+                };
+                for memb in job.members {
+                    route_fault(
+                        memb,
+                        FaultKind::SiteCrashed { site },
+                        checkpoint,
+                        t,
+                        &cfg.retry,
+                        &oracle.solo_s,
+                        &mut dispositions,
+                        &mut faults,
+                        &mut retry_wait,
+                    );
+                }
+            }
+            running = still;
+        }
+        // (b) local phases that finished enter the shared WAN drain.
         for job in &mut running {
             if !job.in_phase2 && job.phase1_end <= t {
                 job.in_phase2 = true;
+                busy_intervals.push((
+                    LinkClass::IntraCluster.bucket(),
+                    job.start.secs(),
+                    job.phase1_end.secs(),
+                ));
                 shared.join(&job.links);
             }
         }
-        // (b) drained jobs complete: release slots, leave links, record.
+        // (c) drained jobs complete — unless a drop rule eats the
+        // in-flight R messages, which faults the job instead.
         let mut still = Vec::with_capacity(running.len());
         for job in running.drain(..) {
-            if job.in_phase2 && job.wan_rem_s <= DRAIN_EPS_S {
-                shared.leave(&job.links);
-                job.alloc.release(&mut pool);
+            if !(job.in_phase2 && job.wan_rem_s <= DRAIN_EPS_S) {
+                still.push(job);
+                continue;
+            }
+            shared.leave(&job.links);
+            job.alloc.release(&mut pool);
+            let mut dropped_on: Option<(usize, usize)> = None;
+            if drops_armed {
+                for &l in &job.links {
+                    let seq = drop_seq.entry(l).or_insert(0);
+                    let n = *seq;
+                    *seq += 1;
+                    if dropped_on.is_none() && cfg.faults.should_drop(l.0, l.1, n) {
+                        dropped_on = Some(l);
+                    }
+                }
+            }
+            if let Some(link) = dropped_on {
+                // The drain itself must be resent; the local phase stays
+                // checkpointed (when the policy keeps checkpoints).
+                let checkpoint = if cfg.retry.checkpoint_drain {
+                    Some(Checkpoint { residual_wan_s: job.wan_full_s })
+                } else {
+                    None
+                };
+                for memb in job.members {
+                    route_fault(
+                        memb,
+                        FaultKind::DrainDropped { link },
+                        checkpoint,
+                        t,
+                        &cfg.retry,
+                        &oracle.solo_s,
+                        &mut dispositions,
+                        &mut faults,
+                        &mut retry_wait,
+                    );
+                }
+            } else {
                 let k = job.members.len();
                 for memb in &job.members {
                     dispositions[memb.id] = Some(Disposition::Completed {
                         start: job.start,
                         finish: t,
                         batch_size: k,
+                        attempts: memb.attempts,
                     });
                 }
-            } else {
-                still.push(job);
             }
         }
         running = still;
-        // (c) arrivals at t are admitted or explicitly rejected.
+        // (d) expired backoffs re-enter the admission queue (bypassing
+        // the bound: re-admission is not new admission), in ready-time
+        // order with id tiebreaks.
+        if !retry_wait.is_empty() {
+            let mut ready: Vec<QueuedJob> = Vec::new();
+            let mut waiting = Vec::with_capacity(retry_wait.len());
+            for (at, qj) in retry_wait.drain(..) {
+                if at <= t {
+                    ready.push(qj);
+                } else {
+                    waiting.push((at, qj));
+                }
+            }
+            retry_wait = waiting;
+            ready.sort_by(|a, b| {
+                a.enqueued.secs().total_cmp(&b.enqueued.secs()).then(a.id.cmp(&b.id))
+            });
+            for qj in ready {
+                queue.push_unbounded(qj);
+            }
+        }
+        // (e) arrivals at t are admitted, shed (brownout), or rejected.
         while next_arr < requests.len() && requests[next_arr].arrival <= t {
             let r = &requests[next_arr];
-            let qj = QueuedJob {
-                id: r.id,
-                tenant: r.tenant,
-                shape: r.shape,
-                rows: r.rows,
-                cols: r.cols,
-                sites: r.sites,
-                arrival: r.arrival,
-                deadline: r.deadline,
-                service_s: oracle.solo_s[r.shape],
-            };
-            if queue.try_push(qj).is_err() {
-                dispositions[r.id] = Some(Disposition::RejectedQueueFull);
+            let pressure =
+                retry_wait.len() + queue.items().iter().filter(|j| j.attempts > 1).count();
+            let active = brownout.on_pressure(pressure);
+            if active && brownout_open.is_none() {
+                brownout_open = Some(t);
+            } else if !active {
+                if let Some(s) = brownout_open.take() {
+                    brownout_windows.push((s.secs(), t.secs()));
+                }
+            }
+            let slack_s = (r.deadline - r.arrival).secs();
+            if active && slack_s >= cfg.brownout.shed_slack * oracle.solo_s[r.shape] {
+                dispositions[r.id] = Some(Disposition::Shed);
+            } else {
+                let qj = QueuedJob {
+                    id: r.id,
+                    tenant: r.tenant,
+                    shape: r.shape,
+                    rows: r.rows,
+                    cols: r.cols,
+                    sites: r.sites,
+                    arrival: r.arrival,
+                    deadline: r.deadline,
+                    service_s: oracle.solo_s[r.shape],
+                    attempts: 1,
+                    checkpoint: None,
+                    enqueued: r.arrival,
+                };
+                if queue.try_push(qj).is_err() {
+                    dispositions[r.id] = Some(Disposition::RejectedQueueFull);
+                }
             }
             next_arr += 1;
         }
+    }
+    if let Some(s) = brownout_open.take() {
+        brownout_windows.push((s.secs(), t.secs()));
     }
 
     assert!(
@@ -448,6 +817,8 @@ pub fn serve(catalog: &ResourceCatalog, cfg: &ServeConfig) -> ServeOutcome {
         total_wait_s,
         wan_busy: wan_busy.into_iter().collect(),
         busy_intervals,
+        faults,
+        brownout_windows,
     }
 }
 
@@ -477,8 +848,9 @@ mod tests {
         let o = shape_oracle(&g5k(), 64);
         let rec = &out.records[0];
         match rec.disposition {
-            Disposition::Completed { start, finish, batch_size } => {
+            Disposition::Completed { start, finish, batch_size, attempts } => {
                 assert_eq!(batch_size, 1);
+                assert_eq!(attempts, 1, "failure-free run completes on the first try");
                 assert_eq!(start, rec.request.arrival, "idle grid dispatches immediately");
                 let sojourn = (finish - start).secs();
                 let solo = o.solo_s[rec.request.shape];
@@ -590,5 +962,204 @@ mod tests {
         let a = serve(&g5k(), &cfg);
         let b = serve(&g5k(), &cfg);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_schedule_is_bit_identical_to_the_failure_free_engine() {
+        // The failure machinery must be inert: constructing the config
+        // with an explicit empty schedule changes nothing, and no fault
+        // artifacts appear.
+        let cfg = ServeConfig { requests: 40, load: 1.2, batch: true, ..Default::default() };
+        let out = serve(&g5k(), &cfg);
+        assert!(out.faults.is_empty());
+        assert!(out.brownout_windows.is_empty());
+        assert!(out.records.iter().all(|r| !matches!(
+            r.disposition,
+            Disposition::Shed | Disposition::FailedPermanent { .. }
+        )));
+    }
+
+    #[test]
+    fn site_crash_kills_leases_and_retries_complete() {
+        // Crash a cluster mid-run: jobs leasing it fault, retry after
+        // backoff, and (with budget to spare) still complete — with the
+        // audit trail recording every hop. The pool-idle assert inside
+        // serve() additionally proves no slot leaked across the kill.
+        let cfg = ServeConfig {
+            requests: 12,
+            load: 1.0,
+            single_shape: Some(3), // four-site jobs always lease site 2
+            faults: FailureSchedule::new(7).crash_site(2, VirtualTime::from_secs(0.1)),
+            ..Default::default()
+        };
+        let out = serve(&g5k(), &cfg);
+        assert!(
+            out.faults
+                .iter()
+                .any(|f| matches!(f.kind, FaultKind::SiteCrashed { site: 2 })),
+            "the crash must hit at least one running job"
+        );
+        let retried_completions = out
+            .records
+            .iter()
+            .filter(|r| matches!(r.disposition, Disposition::Completed { attempts, .. } if attempts > 1))
+            .count();
+        assert!(retried_completions > 0, "some faulted job must complete on a retry");
+        // Elastic re-allocation: four-site requests dispatched after the
+        // crash still complete on the three surviving sites.
+        let post_crash_completions = out.records.iter().any(|r| {
+            matches!(r.disposition, Disposition::Completed { start, .. }
+                if start > VirtualTime::from_secs(0.1))
+        });
+        assert!(post_crash_completions, "survivor grid must keep serving after the crash");
+    }
+
+    #[test]
+    fn checkpointed_drain_beats_full_restart() {
+        // Same crash, two recovery modes: checkpointed retries pay only
+        // the residual drain, so the horizon and the faulted requests'
+        // sojourns must not exceed the full-restart run's.
+        let base = ServeConfig {
+            requests: 12,
+            load: 1.0,
+            single_shape: Some(3),
+            faults: FailureSchedule::new(7).crash_site(2, VirtualTime::from_secs(0.1)),
+            ..Default::default()
+        };
+        let ckpt = serve(&g5k(), &base);
+        let restart = serve(
+            &g5k(),
+            &ServeConfig {
+                retry: RetryPolicy { checkpoint_drain: false, ..Default::default() },
+                ..base
+            },
+        );
+        let ckpt_used = ckpt.faults.iter().any(|f| {
+            matches!(f.action, RecoveryAction::Retried { checkpointed: true, .. })
+        });
+        assert!(ckpt_used, "a mid-drain kill must produce a checkpointed retry");
+        assert!(restart.faults.iter().all(|f| {
+            !matches!(f.action, RecoveryAction::Retried { checkpointed: true, .. })
+        }));
+        assert!(
+            ckpt.horizon <= restart.horizon,
+            "checkpointed drain must not extend the horizon past full restart: {} vs {}",
+            ckpt.horizon.secs(),
+            restart.horizon.secs()
+        );
+    }
+
+    #[test]
+    fn drain_drop_faults_and_recovers() {
+        // Drop the first drain completion on the (0,2) site pair: the
+        // affected job resends its drain and completes on the retry.
+        let cfg = ServeConfig {
+            requests: 6,
+            load: 0.5,
+            single_shape: Some(3),
+            faults: FailureSchedule::new(7).drop_nth_message(0, 2, 0),
+            ..Default::default()
+        };
+        let out = serve(&g5k(), &cfg);
+        assert!(
+            out.faults
+                .iter()
+                .any(|f| matches!(f.kind, FaultKind::DrainDropped { link: (0, 2) })),
+            "the scripted drop must fire"
+        );
+        assert!(out.records.iter().all(|r| matches!(
+            r.disposition,
+            Disposition::Completed { .. } | Disposition::RejectedQueueFull
+        )));
+    }
+
+    #[test]
+    fn exhausted_retry_budget_fails_permanently() {
+        // One attempt, no retries: the crash's victims fail permanently
+        // and the audit trail says so.
+        let cfg = ServeConfig {
+            requests: 8,
+            load: 1.0,
+            single_shape: Some(3),
+            faults: FailureSchedule::new(7).crash_site(2, VirtualTime::from_secs(0.1)),
+            retry: RetryPolicy { max_attempts: 1, ..Default::default() },
+            ..Default::default()
+        };
+        let out = serve(&g5k(), &cfg);
+        let failed = out
+            .records
+            .iter()
+            .filter(|r| matches!(r.disposition, Disposition::FailedPermanent { attempts: 1 }))
+            .count();
+        assert!(failed > 0, "budget of one must turn the crash into permanent failures");
+        assert!(out
+            .faults
+            .iter()
+            .all(|f| !matches!(f.action, RecoveryAction::Retried { .. })));
+    }
+
+    #[test]
+    fn wan_degradation_slows_drains_and_brownout_sheds() {
+        // A long all-WAN brownout window plus aggressive drop rules keep
+        // jobs faulting; with low watermarks admission sheds the loosest
+        // deadlines and recovers once pressure passes.
+        let mut faults = FailureSchedule::new(7).degrade_all_wan(
+            VirtualTime::from_secs(0.05),
+            VirtualTime::from_secs(5.0),
+            1.0,
+            8.0,
+        );
+        for nth in 0..6 {
+            faults = faults.drop_nth_message(0, 2, nth);
+        }
+        let cfg = ServeConfig {
+            requests: 40,
+            load: 0.5,
+            single_shape: Some(3),
+            faults,
+            brownout: BrownoutConfig { enter_watermark: 1, exit_watermark: 0, shed_slack: 0.0 },
+            ..Default::default()
+        };
+        let out = serve(&g5k(), &cfg);
+        let shed = out
+            .records
+            .iter()
+            .filter(|r| matches!(r.disposition, Disposition::Shed))
+            .count();
+        assert!(shed > 0, "sustained retry pressure must shed arrivals");
+        assert!(!out.brownout_windows.is_empty(), "shedding implies a brownout window");
+        for &(s, e) in &out.brownout_windows {
+            assert!(s <= e, "brownout windows are well-formed intervals");
+        }
+        // Degradation stretches the run: compare against the fault-free twin.
+        let clean = serve(&g5k(), &ServeConfig {
+            faults: FailureSchedule::default(),
+            ..cfg.clone()
+        });
+        assert!(out.horizon > clean.horizon, "an 8x WAN slowdown must stretch the horizon");
+    }
+
+    #[test]
+    fn faulty_runs_replay_byte_identically() {
+        let cfg = ServeConfig {
+            requests: 30,
+            load: 1.5,
+            single_shape: Some(3),
+            batch: true,
+            faults: FailureSchedule::new(11)
+                .crash_site(1, VirtualTime::from_secs(0.06))
+                .drop_nth_message(0, 2, 1)
+                .degrade_all_wan(
+                    VirtualTime::from_secs(0.05),
+                    VirtualTime::from_secs(0.2),
+                    2.0,
+                    4.0,
+                ),
+            ..Default::default()
+        };
+        let a = serve(&g5k(), &cfg);
+        let b = serve(&g5k(), &cfg);
+        assert_eq!(a, b, "same seed + same schedule must replay byte-identically");
+        assert!(!a.faults.is_empty(), "the scripted schedule must actually bite");
     }
 }

@@ -22,9 +22,15 @@
 //!   slots leased through [`tsqr_qcg::SlotPool`], WAN transfers priced
 //!   against shared per-link capacity
 //!   ([`tsqr_netsim::occupancy::SharedLinks`]), optional batching of
-//!   same-shape requests into one stacked TSQR.
-//! * [`report`] — sojourn percentiles, throughput, SLO misses, link
-//!   utilization and load sweeps, rendered byte-deterministically.
+//!   same-shape requests into one stacked TSQR, and scripted failures
+//!   from a seeded [`tsqr_netsim::FailureSchedule`] (site crashes, WAN
+//!   degradation windows, transient drain drops).
+//! * [`recovery`] — what happens after a fault: bounded retry with
+//!   exponential virtual backoff, checkpointed WAN drain vs full
+//!   restart, and hysteretic brownout shedding.
+//! * [`report`] — sojourn percentiles, throughput, SLO misses, fault and
+//!   shed counts, link utilization and load sweeps, rendered
+//!   byte-deterministically.
 //!
 //! See `docs/serving.md` for the model, its assumptions, and the
 //! experiments the bench gate pins.
@@ -34,10 +40,14 @@
 
 pub mod engine;
 pub mod policy;
+pub mod recovery;
 pub mod report;
 pub mod workload;
 
 pub use engine::{serve, shape_oracle, Disposition, RequestRecord, ServeConfig, ServeOutcome, ShapeOracle};
 pub use policy::{BoundedQueue, Policy, QueuedJob};
+pub use recovery::{
+    Brownout, BrownoutConfig, Checkpoint, FaultKind, JobFault, RecoveryAction, RetryPolicy,
+};
 pub use report::{load_sweep_table, percentile, timeline, PolicyReport};
 pub use workload::{generate, menu, Request, ShapeClass, WorkloadSpec};

@@ -31,6 +31,8 @@
 
 use tsqr_netsim::VirtualTime;
 
+use crate::recovery::Checkpoint;
+
 /// A queue/dispatch discipline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Policy {
@@ -89,10 +91,21 @@ pub struct QueuedJob {
     pub sites: usize,
     /// Arrival instant.
     pub arrival: VirtualTime,
-    /// SLO deadline (EDF key).
+    /// SLO deadline (EDF key). A retry keeps the original deadline, so
+    /// EDF re-prioritizes re-admitted work without special casing.
     pub deadline: VirtualTime,
-    /// Predicted solo service seconds (SJF key).
+    /// Predicted solo service seconds (SJF key). Checkpointed retries
+    /// carry their residual drain here, so SJF sees the true remaining
+    /// work.
     pub service_s: f64,
+    /// Tries consumed *including* the current one (1 = first dispatch).
+    pub attempts: usize,
+    /// Persisted partial R from a prior faulted try; `Some` means only
+    /// the residual WAN drain is owed (see [`crate::recovery`]).
+    pub checkpoint: Option<Checkpoint>,
+    /// When this entry (re-)entered the queue — queue-wait accounting
+    /// runs from here, while sojourns still run from `arrival`.
+    pub enqueued: VirtualTime,
 }
 
 /// A bounded FIFO-ordered waiting room; policies pick *positions* out of
@@ -134,6 +147,14 @@ impl BoundedQueue {
             self.items.push(job);
             Ok(())
         }
+    }
+
+    /// Re-admits a retried job *past* the capacity bound. A retry was
+    /// already admitted once — bouncing it off a full queue would turn a
+    /// transient fault into a silent rejection; sustained overload is
+    /// handled by brownout shedding instead (see [`crate::recovery`]).
+    pub fn push_unbounded(&mut self, job: QueuedJob) {
+        self.items.push(job);
     }
 
     /// The waiting jobs, in arrival order (read-only view).
@@ -178,12 +199,14 @@ impl BoundedQueue {
     /// Removes every waiting job with the given batching key (same
     /// columns, same site affinity — i.e. same placement and tree shape,
     /// only row counts differ), in arrival order. Used by `--batch` to
-    /// coalesce a burst into one stacked TSQR.
+    /// coalesce a burst into one stacked TSQR. Checkpointed retries never
+    /// join a batch: they owe only a residual drain, which cannot share a
+    /// fresh batch's local phase.
     pub fn drain_matching(&mut self, cols: usize, sites: usize) -> Vec<QueuedJob> {
         let mut matched = Vec::new();
         let mut rest = Vec::with_capacity(self.items.len());
         for j in self.items.drain(..) {
-            if j.cols == cols && j.sites == sites {
+            if j.cols == cols && j.sites == sites && j.checkpoint.is_none() {
                 matched.push(j);
             } else {
                 rest.push(j);
@@ -209,6 +232,9 @@ mod tests {
             arrival: VirtualTime::from_secs(id as f64),
             deadline: VirtualTime::from_secs(deadline_s),
             service_s,
+            attempts: 1,
+            checkpoint: None,
+            enqueued: VirtualTime::from_secs(id as f64),
         }
     }
 
@@ -258,6 +284,22 @@ mod tests {
         assert_eq!(q.select(Policy::Sjf, &served), Some(1));
         assert_eq!(q.select(Policy::Edf, &served), Some(1));
         assert_eq!(q.select(Policy::Fair, &served), Some(1));
+    }
+
+    #[test]
+    fn retries_bypass_the_bound_and_checkpoints_never_batch() {
+        let mut q = BoundedQueue::new(1);
+        q.try_push(job(0, 0, 1.0, 10.0)).unwrap();
+        assert!(q.is_full());
+        let mut retry = job(1, 0, 1.0, 10.0);
+        retry.attempts = 2;
+        retry.checkpoint = Some(Checkpoint { residual_wan_s: 0.01 });
+        q.push_unbounded(retry);
+        assert_eq!(q.len(), 2, "re-admission ignores the capacity bound");
+        // The checkpointed retry stays out of the batch.
+        let batch = q.drain_matching(64, 1);
+        assert_eq!(batch.iter().map(|j| j.id).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(q.items()[0].id, 1);
     }
 
     #[test]

@@ -32,6 +32,16 @@ pub struct PolicyReport {
     pub rejected_queue: usize,
     /// Requests whose shape could not be placed at all.
     pub rejected_infeasible: usize,
+    /// Requests shed by brownout (graceful degradation).
+    pub shed: usize,
+    /// Requests that faulted on every allowed try.
+    pub failed_permanent: usize,
+    /// Fault events recorded (one per affected request per fault).
+    pub fault_events: usize,
+    /// Completions that needed more than one try.
+    pub retried_completions: usize,
+    /// Summed virtual seconds admission spent browning out.
+    pub brownout_s: f64,
     /// Completions that missed their deadline.
     pub slo_miss: usize,
     /// Virtual seconds from first arrival to last completion.
@@ -82,11 +92,17 @@ impl PolicyReport {
         let mut completed = 0;
         let mut rejected_queue = 0;
         let mut rejected_infeasible = 0;
+        let mut shed = 0;
+        let mut failed_permanent = 0;
+        let mut retried_completions = 0;
         let mut slo_miss = 0;
         for r in &out.records {
             match r.disposition {
-                Disposition::Completed { finish, .. } => {
+                Disposition::Completed { finish, attempts, .. } => {
                     completed += 1;
+                    if attempts > 1 {
+                        retried_completions += 1;
+                    }
                     sojourns.push((finish - r.request.arrival).secs());
                     if finish > r.request.deadline {
                         slo_miss += 1;
@@ -94,6 +110,8 @@ impl PolicyReport {
                 }
                 Disposition::RejectedQueueFull => rejected_queue += 1,
                 Disposition::RejectedInfeasible => rejected_infeasible += 1,
+                Disposition::Shed => shed += 1,
+                Disposition::FailedPermanent { .. } => failed_permanent += 1,
             }
         }
         sojourns.sort_by(f64::total_cmp);
@@ -112,6 +130,13 @@ impl PolicyReport {
             completed,
             rejected_queue,
             rejected_infeasible,
+            shed,
+            failed_permanent,
+            fault_events: out.faults.len(),
+            retried_completions,
+            // fold from +0.0: `Sum<f64>` starts at -0.0, which would
+            // render an empty window list as "-0.000".
+            brownout_s: out.brownout_windows.iter().fold(0.0, |acc, &(s, e)| acc + (e - s)),
             slo_miss,
             horizon_s,
             throughput_rps: if horizon_s > 0.0 { completed as f64 / horizon_s } else { 0.0 },
@@ -136,7 +161,7 @@ impl PolicyReport {
     /// One pinnable line — the `grid-tsqr check` format.
     pub fn summary_line(&self) -> String {
         format!(
-            "{}@{:.2}{} done {}/{} rej {} miss {} mean {:.3}s p99 {:.3}s thpt {:.4}/s wan {}",
+            "{}@{:.2}{} done {}/{} rej {} miss {} shed {} fail {} flt {} mean {:.3}s p99 {:.3}s thpt {:.4}/s wan {}",
             self.policy.label(),
             self.load,
             if self.batch { "+batch" } else { "" },
@@ -144,6 +169,9 @@ impl PolicyReport {
             self.requests,
             self.rejected_queue + self.rejected_infeasible,
             self.slo_miss,
+            self.shed,
+            self.failed_permanent,
+            self.fault_events,
             self.mean_sojourn_s,
             self.p99_sojourn_s,
             self.throughput_rps,
@@ -172,6 +200,19 @@ impl PolicyReport {
             self.rejected_infeasible,
             self.slo_miss
         );
+        if self.shed + self.failed_permanent + self.fault_events + self.retried_completions > 0
+            || self.brownout_s > 0.0
+        {
+            let _ = writeln!(
+                out,
+                "faults {}  retried-completions {}  shed {}  failed-permanent {}  brownout {:.3} s",
+                self.fault_events,
+                self.retried_completions,
+                self.shed,
+                self.failed_permanent,
+                self.brownout_s
+            );
+        }
         let _ = writeln!(
             out,
             "horizon {:.3} s  throughput {:.4} req/s  aggregate {:.2} Gflop/s",
@@ -260,10 +301,15 @@ mod tests {
         let out = serve(&cat, &cfg);
         let r = PolicyReport::from_outcome(&out);
         assert_eq!(
-            r.completed + r.rejected_queue + r.rejected_infeasible,
+            r.completed
+                + r.rejected_queue
+                + r.rejected_infeasible
+                + r.shed
+                + r.failed_permanent,
             r.requests,
             "conservation: every request accounted for"
         );
+        assert_eq!(r.shed + r.failed_permanent + r.fault_events, 0, "failure-free run");
         assert!(r.p50_sojourn_s <= r.p95_sojourn_s && r.p95_sojourn_s <= r.p99_sojourn_s);
         assert!(r.throughput_rps > 0.0);
         let again = PolicyReport::from_outcome(&serve(&cat, &cfg));

@@ -65,6 +65,17 @@ $SERVE --policy fifo --load 4.0 --shape 3 --batch >/dev/null
 $SERVE --policy sjf --sweep 0.5,1.0,2.0 >/dev/null
 echo "    serve smoke: all policies scored, batch and sweep render"
 
+echo "==> serving chaos smoke (failure schedules in the serve engine:"
+echo "    crash + checkpointed retry, crash + elastic re-plan, degraded"
+echo "    WAN + brownout shed; docs/serving.md §Failures)"
+$SERVE --load 1.0 --crash 2@100 >/dev/null
+$SERVE --load 1.0 --crash 2@100 --shape 3 --no-checkpoint >/dev/null
+$SERVE --load 0.5 --wan-slow 50:5000:1:8 \
+  --drop-flow 0:2:0 --drop-flow 0:2:1 --drop-flow 0:2:2 \
+  --drop-flow 0:2:3 --drop-flow 0:2:4 --drop-flow 0:2:5 \
+  --backoff 200 --brownout 1:0 >/dev/null
+echo "    chaos smoke: crashed, re-planned, browned out, recovered"
+
 echo "==> report gate (experiment-ledger dashboard pinned against"
 echo "    REPORT_baseline.md; --check flags anomalous model residuals)"
 ./target/release/grid-tsqr report --ledger ledger/runs.jsonl \

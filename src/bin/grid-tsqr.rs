@@ -19,6 +19,10 @@
 //! grid-tsqr serve     [--policy fifo|sjf|edf|fair|all] [--load 0.8] [--requests 200]
 //!                     [--seed 42] [--batch] [--queue 64] [--shape MENU_IX]
 //!                     [--sweep L1,L2,...] [--trace-out dispositions.jsonl]
+//!                     [--crash SITE@MS ...] [--wan-slow FROM_MS:UNTIL_MS:LATx:BWx]
+//!                     [--drop-flow A:B:NTH ...] [--drop-prob A:B:P ...]
+//!                     [--fault-seed 1] [--retry 3] [--backoff 50]
+//!                     [--no-checkpoint] [--brownout ENTER:EXIT]
 //! grid-tsqr check     [--m 65536 --n 32] [--sites 4] [--no-matrix]
 //!                     [--no-explore] [--golden COMMCHECK_baseline.txt] [--bless]
 //! grid-tsqr report    [--ledger ledger/runs.jsonl] [--threshold 0.05] [--top 10]
@@ -67,7 +71,12 @@
 //! same trace; `--batch` coalesces same-shape queued requests into one
 //! stacked TSQR; `--sweep` renders the latency/throughput knee over a
 //! comma-separated load list; `--trace-out` writes per-request
-//! dispositions as JSON lines.
+//! dispositions as JSON lines. Failure injection rides the same flag
+//! grammar as `faults`, lifted to the site level: `--crash SITE@MS`
+//! kills a whole catalog cluster, `--wan-slow` opens a WAN degradation
+//! window, `--drop-flow`/`--drop-prob` lose drained R messages on a
+//! site-pair flow; `--retry`, `--backoff`, `--no-checkpoint` and
+//! `--brownout` tune the recovery layer (docs/serving.md §Failures).
 //!
 //! `check` is the **commcheck** gate (`docs/static-analysis.md`): it runs
 //! the figure-style scenarios and the fault matrix with tracing on, feeds
@@ -108,7 +117,9 @@ use grid_tsqr::netsim::{
     ClusterSpec, CostModel, FailureSchedule, GridTopology, LinkParams, VirtualTime,
 };
 use grid_tsqr::obs::ledger::{append_entry, path_from_env, read_ledger};
-use grid_tsqr::serve::{Policy as ServePolicy, PolicyReport, ServeConfig};
+use grid_tsqr::serve::{
+    BrownoutConfig, Policy as ServePolicy, PolicyReport, RetryPolicy, ServeConfig,
+};
 use grid_tsqr::obs::report::{detect_anomalies, render_report, ReportOptions};
 use tsqr_bench::{calib, grid_runtime, ledger_entry};
 
@@ -241,6 +252,10 @@ fn usage() -> ExitCode {
          \x20 grid-tsqr serve     [--policy fifo|sjf|edf|fair|all] [--load <x>] [--requests <k>]\n\
          \x20                     [--seed <u64>] [--batch] [--queue <cap>] [--shape <menu ix>]\n\
          \x20                     [--sweep <l1,l2,...>] [--trace-out <file.jsonl>]\n\
+         \x20                     [--crash SITE@MS ...] [--wan-slow FROM_MS:UNTIL_MS:LATx:BWx]\n\
+         \x20                     [--drop-flow A:B:NTH ...] [--drop-prob A:B:P ...]\n\
+         \x20                     [--fault-seed <u64>] [--retry <n>] [--backoff <ms>]\n\
+         \x20                     [--no-checkpoint] [--brownout ENTER:EXIT]\n\
          \x20 grid-tsqr check     [--m <rows> --n <cols>] [--sites 1..4] [--no-matrix]\n\
          \x20                     [--no-explore] [--golden <baseline.txt>] [--bless]\n\
          \x20 grid-tsqr report    [--ledger <runs.jsonl>] [--threshold <frac>] [--top <k>]\n\
@@ -426,6 +441,97 @@ fn run() -> Result<String, String> {
         } else {
             vec![ServePolicy::parse(policy_arg)?]
         };
+
+        // --- Failure schedule (site axis) + recovery knobs. Times are
+        // --- wall-flag milliseconds, converted to virtual seconds like
+        // --- the `faults` subcommand.
+        let fseed: u64 = args.num("fault-seed", 1u64)?;
+        let mut schedule = FailureSchedule::new(fseed);
+        for spec in args.all("crash") {
+            let (s, ms) = spec
+                .split_once('@')
+                .ok_or_else(|| format!("--crash wants SITE@MS, got {spec:?}"))?;
+            let s: usize = s.parse().map_err(|_| format!("--crash: bad site {s:?}"))?;
+            if s >= catalog.clusters.len() {
+                return Err(format!("--crash: site {s} not in the {}-cluster catalog", catalog.clusters.len()));
+            }
+            let ms: f64 = ms.parse().map_err(|_| format!("--crash: bad time {ms:?}"))?;
+            schedule = schedule.crash_site(s, VirtualTime::from_secs(ms * 1e-3));
+        }
+        let triple = |flag: &str, spec: &str| -> Result<(usize, usize, String), String> {
+            let parts: Vec<&str> = spec.split(':').collect();
+            let [src, dst, x] = parts[..] else {
+                return Err(format!("--{flag} wants A:B:X, got {spec:?}"));
+            };
+            let src = src.parse().map_err(|_| format!("--{flag}: bad site {src:?}"))?;
+            let dst = dst.parse().map_err(|_| format!("--{flag}: bad site {dst:?}"))?;
+            Ok((src, dst, x.to_string()))
+        };
+        for spec in args.all("drop-flow") {
+            let (a, b, nth) = triple("drop-flow", spec)?;
+            let nth: u64 =
+                nth.parse().map_err(|_| format!("--drop-flow: bad nth {nth:?}"))?;
+            schedule = schedule.drop_nth_message(a.min(b), a.max(b), nth);
+        }
+        for spec in args.all("drop-prob") {
+            let (a, b, prob) = triple("drop-prob", spec)?;
+            let prob: f64 =
+                prob.parse().map_err(|_| format!("--drop-prob: bad p {prob:?}"))?;
+            schedule = schedule.drop_probability(a.min(b), a.max(b), prob);
+        }
+        if let Some(spec) = args.get("wan-slow") {
+            let parts: Vec<&str> = spec.split(':').collect();
+            let [from, until, lat, bw] = parts[..] else {
+                return Err(format!(
+                    "--wan-slow wants FROM_MS:UNTIL_MS:LATx:BWx, got {spec:?}"
+                ));
+            };
+            let p = |what: &str, v: &str| -> Result<f64, String> {
+                v.parse().map_err(|_| format!("--wan-slow: bad {what} {v:?}"))
+            };
+            schedule = schedule.degrade_all_wan(
+                VirtualTime::from_secs(p("from", from)? * 1e-3),
+                VirtualTime::from_secs(p("until", until)? * 1e-3),
+                p("latency factor", lat)?,
+                p("bandwidth divisor", bw)?,
+            );
+        }
+        let faulty = !schedule.is_empty();
+        let max_attempts: usize = args.num("retry", 3usize)?;
+        if max_attempts == 0 {
+            return Err("--retry must allow at least one attempt".into());
+        }
+        let backoff_ms: f64 = args.num("backoff", 50.0f64)?;
+        if !backoff_ms.is_finite() || backoff_ms < 0.0 {
+            return Err("--backoff must be a non-negative duration in ms".into());
+        }
+        let retry = grid_tsqr::serve::RetryPolicy {
+            max_attempts,
+            backoff_base_s: backoff_ms * 1e-3,
+            checkpoint_drain: !args.has("no-checkpoint"),
+            ..Default::default()
+        };
+        let brownout = match args.get("brownout") {
+            None => grid_tsqr::serve::BrownoutConfig::default(),
+            Some(spec) => {
+                let (enter, exit) = spec
+                    .split_once(':')
+                    .ok_or_else(|| format!("--brownout wants ENTER:EXIT, got {spec:?}"))?;
+                let enter: usize =
+                    enter.parse().map_err(|_| format!("--brownout: bad enter {enter:?}"))?;
+                let exit: usize =
+                    exit.parse().map_err(|_| format!("--brownout: bad exit {exit:?}"))?;
+                if exit > enter {
+                    return Err("--brownout: exit watermark must not exceed enter".into());
+                }
+                grid_tsqr::serve::BrownoutConfig {
+                    enter_watermark: enter,
+                    exit_watermark: exit,
+                    ..Default::default()
+                }
+            }
+        };
+
         let base = ServeConfig {
             policy: policies[0],
             load,
@@ -434,6 +540,9 @@ fn run() -> Result<String, String> {
             batch: args.has("batch"),
             queue_capacity,
             single_shape,
+            faults: schedule,
+            retry,
+            brownout,
             ..Default::default()
         };
 
@@ -469,6 +578,39 @@ fn run() -> Result<String, String> {
                 out.push('\n');
             }
             out.push_str(&report.render());
+            if faulty {
+                // The typed fault audit trail, in event order — the
+                // worked example in docs/serving.md §Failures.
+                for f in &outcome.faults {
+                    let kind = match f.kind {
+                        grid_tsqr::serve::FaultKind::SiteCrashed { site } => {
+                            format!("site {site} crashed")
+                        }
+                        grid_tsqr::serve::FaultKind::DrainDropped { link } => {
+                            format!("drain dropped on {}-{}", link.0, link.1)
+                        }
+                    };
+                    let action = match f.action {
+                        grid_tsqr::serve::RecoveryAction::Retried { attempts, checkpointed } => {
+                            format!(
+                                "retry #{attempts}{}",
+                                if checkpointed { " (checkpointed drain)" } else { " (full restart)" }
+                            )
+                        }
+                        grid_tsqr::serve::RecoveryAction::FailedPermanent { attempts } => {
+                            format!("failed permanently after {attempts} attempt(s)")
+                        }
+                    };
+                    out.push_str(&format!(
+                        "fault t={:.3}s req {}: {kind} -> {action}\n",
+                        f.at.secs(),
+                        f.request
+                    ));
+                }
+                for &(s, e) in &outcome.brownout_windows {
+                    out.push_str(&format!("brownout window {s:.3}s -> {e:.3}s\n"));
+                }
+            }
             if policies.len() == 1 {
                 out.push_str("\nlink-class busy timeline:\n");
                 out.push_str(&grid_tsqr::serve::timeline(&outcome, 48).render());
@@ -487,17 +629,24 @@ fn run() -> Result<String, String> {
                             start,
                             finish,
                             batch_size,
+                            attempts,
                         } => format!(
-                            "\"completed\",\"start_s\":{:.9},\"finish_s\":{:.9},\"batch\":{}",
+                            "\"completed\",\"start_s\":{:.9},\"finish_s\":{:.9},\"batch\":{},\
+                             \"attempts\":{}",
                             start.secs(),
                             finish.secs(),
-                            batch_size
+                            batch_size,
+                            attempts
                         ),
                         grid_tsqr::serve::Disposition::RejectedQueueFull => {
                             "\"rejected-queue-full\"".to_string()
                         }
                         grid_tsqr::serve::Disposition::RejectedInfeasible => {
                             "\"rejected-infeasible\"".to_string()
+                        }
+                        grid_tsqr::serve::Disposition::Shed => "\"shed\"".to_string(),
+                        grid_tsqr::serve::Disposition::FailedPermanent { attempts } => {
+                            format!("\"failed-permanent\",\"attempts\":{attempts}")
                         }
                     };
                     body.push_str(&format!(
@@ -528,9 +677,10 @@ fn run() -> Result<String, String> {
                 let total_rows: u64 = outcome.records.iter().map(|r| r.request.rows).sum();
                 let entry = grid_tsqr::obs::ledger::LedgerEntry {
                     seq: 0,
-                    source: "serve".into(),
+                    source: if faulty { "serve-faults".into() } else { "serve".into() },
                     scenario: format!(
-                        "cli/serve/{}-load{load:.2}{}",
+                        "cli/{}/{}-load{load:.2}{}",
+                        if faulty { "serve-faults" } else { "serve" },
                         policy.label(),
                         if cfg.batch { "-batch" } else { "" }
                     ),
@@ -1359,10 +1509,55 @@ fn run() -> Result<String, String> {
                     batch: true,
                     single_shape: Some(3),
                     load: 3.0,
-                    ..base
+                    ..base.clone()
                 };
                 let r = PolicyReport::from_outcome(&grid_tsqr::serve::serve(&catalog, &cfg));
                 lines.push(format!("{:<22} {}", "serve-fifo-batch", r.summary_line()));
+
+                // Fault-injected serving (docs/serving.md §Failures): a
+                // site crash recovered by checkpointed retries, the same
+                // crash forcing 4-site jobs onto survivors via elastic
+                // re-planning, and a degraded-WAN window driving brownout
+                // shed. Each must replay byte-identically like the rest.
+                let crash = ServeConfig {
+                    load: 1.0,
+                    faults: FailureSchedule::new(1)
+                        .crash_site(2, VirtualTime::from_secs(0.1)),
+                    ..base.clone()
+                };
+                let r = PolicyReport::from_outcome(&grid_tsqr::serve::serve(&catalog, &crash));
+                lines.push(format!("{:<22} {}", "serve-fault-crash", r.summary_line()));
+
+                let replan = ServeConfig {
+                    single_shape: Some(3),
+                    load: 1.0,
+                    ..crash.clone()
+                };
+                let r = PolicyReport::from_outcome(&grid_tsqr::serve::serve(&catalog, &replan));
+                lines.push(format!("{:<22} {}", "serve-fault-replan", r.summary_line()));
+
+                let brownout = ServeConfig {
+                    requests: 40,
+                    load: 0.5,
+                    faults: (0..6)
+                        .fold(FailureSchedule::new(1), |s, nth| s.drop_nth_message(0, 2, nth))
+                        .degrade_all_wan(
+                            VirtualTime::from_secs(0.05),
+                            VirtualTime::from_secs(5.0),
+                            1.0,
+                            8.0,
+                        ),
+                    retry: RetryPolicy { backoff_base_s: 0.2, ..Default::default() },
+                    brownout: BrownoutConfig {
+                        enter_watermark: 1,
+                        exit_watermark: 0,
+                        shed_slack: 0.0,
+                    },
+                    ..base
+                };
+                let r =
+                    PolicyReport::from_outcome(&grid_tsqr::serve::serve(&catalog, &brownout));
+                lines.push(format!("{:<22} {}", "serve-fault-brownout", r.summary_line()));
             }
 
             if !bad.is_empty() {
